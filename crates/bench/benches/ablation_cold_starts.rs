@@ -1,0 +1,38 @@
+//! A6 — cold-start fraction and latency vs request inter-arrival time,
+//! under the 2018 sandbox and under Firecracker (§3 constraint (1) and
+//! footnote 5).
+
+use faasim::experiments::cold_starts::{self, ColdStartParams};
+use faasim_bench::{section, BENCH_SEED};
+
+fn main() {
+    section("Ablation: cold starts vs request inter-arrival time");
+    let base = cold_starts::run(&ColdStartParams::default(), BENCH_SEED);
+    println!("{}", base.render("2018 Lambda (5 s sandbox start, 10 min keep-alive)"));
+
+    let fc = cold_starts::run(
+        &ColdStartParams {
+            firecracker: true,
+            ..ColdStartParams::default()
+        },
+        BENCH_SEED,
+    );
+    println!("{}", fc.render("Firecracker (125 ms microVM start, same keep-alive)"));
+
+    let slo = cold_starts::run(
+        &ColdStartParams {
+            provisioned: 1,
+            ..ColdStartParams::default()
+        },
+        BENCH_SEED,
+    );
+    println!("{}", slo.render("2018 Lambda + 1 provisioned container (the §4 'SLO' knob)"));
+
+    println!(
+        "the keep-alive cliff is the lifecycle, not the sandbox: Firecracker\n\
+         shrinks the cold *penalty* ~40x but the cold *fraction* is identical.\n\
+         Reserving capacity (provisioned concurrency) removes the cliff entirely\n\
+         — for a per-GB-hour fee, which is exactly the paper's point about SLOs\n\
+         needing to be a priced, first-class platform concept."
+    );
+}

@@ -1,0 +1,47 @@
+//! A1 — the paper's footnote 5: "AWS announced Firecracker, a microVM
+//! framework that supports 125ms startup time ... This would have at best
+//! modest effects on our results in Table 1; it is still orders of
+//! magnitude slower than traditional network messaging."
+//!
+//! We rerun Table 1 with the 5 s cold start replaced by 125 ms and show
+//! the table barely moves — the warm invocation path and the storage
+//! round trips, not sandbox startup, dominate.
+
+use faasim::experiments::table1::{self, Table1Params};
+use faasim_bench::{section, BENCH_SEED};
+
+fn main() {
+    section("Ablation: Table 1 with Firecracker-style 125 ms cold starts");
+    let baseline = table1::run(&Table1Params::default(), BENCH_SEED);
+    let firecracker = table1::run(
+        &Table1Params {
+            firecracker: true,
+            ..Table1Params::default()
+        },
+        BENCH_SEED,
+    );
+
+    println!(
+        "{:<24} {:>14} {:>14} {:>10}",
+        "", "2018 Lambda", "Firecracker", "change"
+    );
+    println!("{}", "-".repeat(66));
+    for row in &baseline.rows {
+        let fc = firecracker.mean_of(row.label);
+        let base_ms = row.mean.as_secs_f64() * 1e3;
+        let fc_ms = fc.as_secs_f64() * 1e3;
+        let change = (fc_ms - base_ms) / base_ms * 100.0;
+        println!(
+            "{:<24} {:>12.2}ms {:>12.2}ms {:>+9.2}%",
+            row.label, base_ms, fc_ms, change
+        );
+    }
+    println!();
+    let zmq = firecracker.mean_of("EC2 NW (0MQ)").as_secs_f64();
+    let invoc = firecracker.mean_of("Func. Invoc. (1KB)").as_secs_f64();
+    println!(
+        "footnote 5 confirmed: even with Firecracker, invocation is still {:.0}x slower \
+         than direct messaging",
+        invoc / zmq
+    );
+}

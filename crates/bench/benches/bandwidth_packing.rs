@@ -1,0 +1,42 @@
+//! E6 — regenerate §3(2)'s per-function bandwidth collapse under
+//! container packing (the Wang et al. measurement the paper builds on).
+
+use faasim::experiments::bandwidth::{self, BandwidthParams, MemorySweepParams};
+use faasim_bench::{compare, section, BENCH_SEED};
+
+fn main() {
+    section("Per-function network bandwidth vs co-located functions");
+    let params = BandwidthParams::default();
+    let result = bandwidth::run(&params, BENCH_SEED);
+    println!("{}", result.render());
+
+    println!("paper-vs-measured:");
+    compare(
+        "single function Mbps",
+        538.0,
+        result.at(1).per_function_mbps,
+        "Mbps",
+    );
+    compare(
+        "20 functions, per-function Mbps",
+        28.7,
+        result.at(20).per_function_mbps,
+        "Mbps",
+    );
+    println!();
+    println!(
+        "context: a 2018 SATA SSD streams ~4 Gbps; 28.7 Mbps is {:.0}x slower — \
+         the paper's \"2.5 orders of magnitude\"",
+        4000.0 / result.at(20).per_function_mbps
+    );
+
+    // Wang et al.'s companion observation: memory buys bandwidth, because
+    // bigger functions pack fewer neighbors.
+    println!();
+    let mem = bandwidth::run_memory_sweep(&MemorySweepParams::default(), BENCH_SEED);
+    println!("{}", mem.render());
+    println!(
+        "the only resource knob FaaS exposes (memory) also sets your NIC share\n\
+         via packing — paying for RAM you don't need is 2018's only bandwidth lever."
+    );
+}

@@ -1,0 +1,40 @@
+//! E4 — regenerate §3.1 case study 2 (prediction serving via batching)
+//! at paper scale: 1,000 batches of 10 documents, four deployments, plus
+//! the 1M msg/s cost extrapolation.
+
+use faasim::experiments::prediction::{self, PredictionParams};
+use faasim_bench::{compare, section, BENCH_SEED};
+
+fn main() {
+    section("Case study 2: low-latency prediction serving via batching (paper scale)");
+    let params = PredictionParams::default();
+    let result = prediction::run(&params, BENCH_SEED);
+    println!("{}", result.render());
+
+    println!("paper-vs-measured (per-batch ms):");
+    let paper = [
+        ("Lambda + S3 model", 559.0),
+        ("Lambda optimized (model baked in, SQS out)", 447.0),
+        ("EC2 + SQS", 13.0),
+        ("EC2 + ZeroMQ", 2.8),
+    ];
+    for (label, p) in paper {
+        compare(label, p, result.latency_of(label).as_secs_f64() * 1e3, "ms");
+    }
+    println!("\npaper-vs-measured (costs at 1M msg/s):");
+    compare("SQS $/hr", 1584.0, result.sqs_hourly_at_rate, "$");
+    compare(
+        "EC2 instances",
+        290.0,
+        result.ec2_instances_at_rate as f64,
+        "",
+    );
+    compare("EC2 fleet $/hr", 27.84, result.ec2_hourly_at_rate, "$");
+    compare("cost advantage", 57.0, result.cost_ratio(), "x");
+    compare(
+        "per-instance throughput",
+        3500.0,
+        result.ec2_throughput_per_instance,
+        "r/s",
+    );
+}

@@ -1,0 +1,48 @@
+//! E3 — regenerate §3.1 case study 1 (model training) at paper scale:
+//! 90 GB, 100 MB batches, 10 epochs, Lambda 640 MB vs EC2 m4.large.
+
+use faasim::experiments::training::{self, TrainingParams};
+use faasim_bench::{compare, section, BENCH_SEED};
+
+fn main() {
+    section("Case study 1: model training, Lambda vs EC2 (paper scale)");
+    let params = TrainingParams::default();
+    let result = training::run(&params, BENCH_SEED);
+    println!("{}", result.render());
+
+    println!("paper-vs-measured:");
+    compare(
+        "Lambda s/iteration",
+        3.08,
+        result.lambda.per_iteration.as_secs_f64(),
+        "s",
+    );
+    compare(
+        "EC2 s/iteration",
+        0.14,
+        result.ec2.per_iteration.as_secs_f64(),
+        "s",
+    );
+    compare(
+        "Lambda sequential executions",
+        31.0,
+        result.lambda.executions as f64,
+        "",
+    );
+    compare(
+        "Lambda total minutes",
+        465.0,
+        result.lambda.total_time.as_secs_f64() / 60.0,
+        "min",
+    );
+    compare(
+        "EC2 total seconds",
+        1300.0,
+        result.ec2.total_time.as_secs_f64(),
+        "s",
+    );
+    compare("Lambda cost", 0.29, result.lambda.compute_cost, "$");
+    compare("EC2 cost", 0.04, result.ec2.compute_cost, "$");
+    compare("slowdown", 21.0, result.slowdown(), "x");
+    compare("cost ratio", 7.3, result.cost_ratio(), "x");
+}

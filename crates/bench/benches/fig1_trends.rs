@@ -1,0 +1,31 @@
+//! E2 — regenerate Figure 1: search interest for "serverless" vs
+//! "map reduce", 2004–2018 (synthetic adoption model; see DESIGN.md §1.6).
+
+use faasim::trends;
+use faasim_bench::section;
+
+fn main() {
+    section("Figure 1: Google-Trends-style interest, \"map reduce\" vs \"serverless\"");
+    let points = trends::generate();
+    println!("{}", trends::ascii_chart(&points, 64));
+
+    println!("year-end values (normalized to 100):");
+    println!("{:>6}  {:>10}  {:>10}", "year", "map reduce", "serverless");
+    for p in points.iter().filter(|p| p.month == 12) {
+        println!("{:>6}  {:>10.1}  {:>10.1}", p.year, p.map_reduce, p.serverless);
+    }
+
+    let (mr_peak, sv_final, crossover) = trends::headline_claims(&points);
+    println!();
+    println!("map-reduce historic peak : {mr_peak:.1}");
+    println!("serverless at publication: {sv_final:.1}");
+    match crossover {
+        Some((y, m)) => println!("crossover                : {y}-{m:02}"),
+        None => println!("crossover                : (none)"),
+    }
+    println!();
+    println!(
+        "figure claim reproduced: serverless reaches {:.0}% of the MapReduce peak by Dec 2018",
+        sv_final / mr_peak * 100.0
+    );
+}

@@ -1,0 +1,136 @@
+//! Criterion micro-benchmarks of the simulator and workload kernels —
+//! these measure *our* implementation (wall-clock), complementing the
+//! virtual-time harnesses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use faasim::simcore::{mbps, FairShareLink, Sim, SimDuration};
+use faasim_ml::{BagOfWords, DirtyWordModel, SparseVec, Trainer};
+
+fn bench_executor(c: &mut Criterion) {
+    c.bench_function("sim/10k_sequential_sleeps", |b| {
+        b.iter(|| {
+            let sim = Sim::new(1);
+            let s = sim.clone();
+            sim.block_on(async move {
+                for _ in 0..10_000 {
+                    s.sleep(SimDuration::from_micros(1)).await;
+                }
+            });
+            black_box(sim.now())
+        })
+    });
+    c.bench_function("sim/1k_concurrent_tasks", |b| {
+        b.iter(|| {
+            let sim = Sim::new(1);
+            for i in 0..1_000u64 {
+                let s = sim.clone();
+                sim.spawn(async move {
+                    s.sleep(SimDuration::from_nanos(i)).await;
+                });
+            }
+            sim.run();
+            black_box(sim.stats().events_processed)
+        })
+    });
+}
+
+fn bench_fair_link(c: &mut Criterion) {
+    c.bench_function("link/100_flow_churn", |b| {
+        b.iter(|| {
+            let sim = Sim::new(1);
+            let link = FairShareLink::new(&sim, mbps(1000.0));
+            for _ in 0..100 {
+                let l = link.clone();
+                sim.spawn(async move {
+                    l.transfer(100_000, None).await;
+                });
+            }
+            sim.run();
+            black_box(sim.now())
+        })
+    });
+}
+
+fn bench_ml(c: &mut Criterion) {
+    let mut trainer = Trainer::paper_setup(1);
+    let xs: Vec<SparseVec> = (0..32)
+        .map(|i| {
+            SparseVec::from_pairs(
+                (0..60)
+                    .map(|j| (((i * 97 + j * 31) % 6787) as u32, 0.5f32))
+                    .collect(),
+            )
+        })
+        .collect();
+    let ys: Vec<f32> = (0..32).map(|i| (i % 5) as f32 + 1.0).collect();
+    c.bench_function("ml/paper_mlp_batch32_step", |b| {
+        b.iter(|| black_box(trainer.train_batch(&xs, &ys)))
+    });
+
+    let docs: Vec<String> = (0..64)
+        .map(|i| faasim_ml::synthetic_document(500, 100, i))
+        .collect();
+    let bow = BagOfWords::fit(docs.iter().map(String::as_str), 2000);
+    c.bench_function("ml/featurize_64_docs", |b| {
+        b.iter(|| black_box(bow.transform_batch(docs.iter().map(String::as_str))))
+    });
+
+    let model = DirtyWordModel::synthetic(500);
+    c.bench_function("ml/censor_64_docs", |b| {
+        b.iter(|| {
+            black_box(model.censor_batch(docs.iter().map(String::as_str)))
+        })
+    });
+}
+
+fn bench_protocols_and_query(c: &mut Criterion) {
+    use faasim::protocols::{Crdt, GCounter, OrSet};
+    c.bench_function("crdt/gcounter_merge_64_replicas", |b| {
+        let mut left = GCounter::new();
+        let mut right = GCounter::new();
+        for r in 0..64u64 {
+            left.increment(r, r + 1);
+            right.increment(r + 32, r + 1);
+        }
+        b.iter(|| {
+            let mut m = left.clone();
+            m.merge(&right);
+            black_box(m.value())
+        })
+    });
+    c.bench_function("crdt/orset_merge_1k_tags", |b| {
+        let mut left: OrSet<u32> = OrSet::new();
+        let mut right: OrSet<u32> = OrSet::new();
+        for i in 0..1_000u32 {
+            left.add(1, i % 100);
+            right.add(2, i % 100);
+        }
+        b.iter(|| {
+            let mut m = left.clone();
+            m.merge(&right);
+            black_box(m.len())
+        })
+    });
+}
+
+fn bench_experiment(c: &mut Criterion) {
+    use faasim::experiments::table1::{self, Table1Params};
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("table1_quick_wallclock", |b| {
+        b.iter(|| black_box(table1::run(&Table1Params::quick(), 1)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_executor,
+    bench_fair_link,
+    bench_ml,
+    bench_protocols_and_query,
+    bench_experiment
+);
+criterion_main!(benches);

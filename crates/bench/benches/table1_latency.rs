@@ -1,0 +1,37 @@
+//! E1 — regenerate the paper's Table 1 at full trial counts.
+
+use faasim::experiments::table1::{self, Table1Params};
+use faasim_bench::{compare, section, BENCH_SEED};
+
+fn main() {
+    section("Table 1: latency of communicating 1KB (paper trial counts)");
+    let params = Table1Params::default();
+    let result = table1::run(&params, BENCH_SEED);
+    println!("{}", result.render());
+
+    println!("paper-vs-measured (means):");
+    let paper_ms = [
+        ("Func. Invoc. (1KB)", 303.0),
+        ("Lambda I/O (S3)", 108.0),
+        ("Lambda I/O (DynamoDB)", 11.0),
+        ("EC2 I/O (S3)", 106.0),
+        ("EC2 I/O (DynamoDB)", 11.0),
+        ("EC2 NW (0MQ)", 0.29),
+    ];
+    for (label, paper) in paper_ms {
+        let measured = result.mean_of(label).as_secs_f64() * 1e3;
+        compare(label, paper, measured, "ms");
+    }
+    println!("\npaper-vs-measured (ratio to best):");
+    let paper_ratio = [
+        ("Func. Invoc. (1KB)", 1045.0),
+        ("Lambda I/O (S3)", 372.0),
+        ("Lambda I/O (DynamoDB)", 37.9),
+        ("EC2 I/O (S3)", 365.0),
+        ("EC2 I/O (DynamoDB)", 37.9),
+        ("EC2 NW (0MQ)", 1.0),
+    ];
+    for (label, paper) in paper_ratio {
+        compare(label, paper, result.ratio_of(label), "x");
+    }
+}

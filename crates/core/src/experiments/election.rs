@@ -1,0 +1,369 @@
+//! Experiment E5 — §3.1 case study 3: **distributed computing** via bully
+//! leader election over a DynamoDB-style blackboard.
+//!
+//! Reproduces the paper's three claims:
+//! - each election round takes ~16.7 s at a 4 Hz poll rate;
+//! - with the 15-minute function lifetime, a cluster spends ≥1.9% of its
+//!   aggregate time electing;
+//! - the polling traffic alone prices a 1,000-node cluster at ≥$450/hr.
+
+use faasim_pricing::Service;
+use faasim_protocols::{
+    spawn_node, BlackboardTransport, BullyConfig, ElectionObserver, NodeId,
+};
+use faasim_simcore::{mbps, SimDuration};
+
+use crate::cloud::{Cloud, CloudProfile};
+use crate::report::Table;
+
+/// Parameters of the election study.
+#[derive(Clone, Debug)]
+pub struct ElectionParams {
+    /// Cluster size actually simulated.
+    pub nodes: u64,
+    /// Poll rate (paper: 4 polls per second).
+    pub polls_per_second: f64,
+    /// Leader kills measured (averaged).
+    pub rounds: usize,
+    /// Cluster size for the cost extrapolation (paper: 1,000).
+    pub extrapolate_nodes: u64,
+    /// Function lifetime used for the %-time claim (paper: 900 s).
+    pub lifetime: SimDuration,
+    /// Scale the protocol timeouts with the polling period, keeping the
+    /// configuration "equally conservative" in polling windows across a
+    /// poll-rate sweep. At the paper's 4 Hz this is the identity.
+    pub scale_timeouts_with_poll: bool,
+}
+
+impl Default for ElectionParams {
+    fn default() -> Self {
+        ElectionParams {
+            nodes: 10,
+            polls_per_second: 4.0,
+            rounds: 5,
+            extrapolate_nodes: 1_000,
+            lifetime: SimDuration::from_secs(900),
+            scale_timeouts_with_poll: true,
+        }
+    }
+}
+
+impl ElectionParams {
+    /// Reduced scale for tests.
+    pub fn quick() -> ElectionParams {
+        ElectionParams {
+            nodes: 5,
+            rounds: 2,
+            ..ElectionParams::default()
+        }
+    }
+}
+
+/// Outcome of the election study.
+#[derive(Clone, Debug)]
+pub struct ElectionResult {
+    /// Mean re-election round (leader death → cluster-wide agreement).
+    pub mean_round: SimDuration,
+    /// Fraction of aggregate time spent electing under the 15-minute
+    /// lifetime (the paper's best case: one election per lifetime).
+    pub fraction_electing: f64,
+    /// Steady-state KV requests per node-second.
+    pub requests_per_node_second: f64,
+    /// Extrapolated $/hr for `extrapolate_nodes` at the steady rate.
+    pub hourly_cost_extrapolated: f64,
+    /// All measured rounds.
+    pub rounds: Vec<SimDuration>,
+}
+
+impl ElectionResult {
+    /// Render in the case study's structure.
+    pub fn render(&self, params: &ElectionParams) -> String {
+        let mut t = Table::new(
+            "Case study 3: bully leader election over blackboard storage",
+            &["metric", "value"],
+        );
+        t.row(&[
+            "poll rate".into(),
+            format!("{:.0}/s", params.polls_per_second),
+        ]);
+        t.row(&[
+            "election round (mean)".into(),
+            format!("{:.1}s", self.mean_round.as_secs_f64()),
+        ]);
+        t.row(&[
+            "time spent electing".into(),
+            format!("{:.1}%", self.fraction_electing * 100.0),
+        ]);
+        t.row(&[
+            "steady KV requests".into(),
+            format!("{:.1}/node/s", self.requests_per_node_second),
+        ]);
+        t.row(&[
+            format!("cost at {} nodes", params.extrapolate_nodes),
+            format!(
+                "{}/hr",
+                faasim_pricing::format_dollars(self.hourly_cost_extrapolated)
+            ),
+        ]);
+        t.render()
+    }
+}
+
+/// Run the study.
+pub fn run(params: &ElectionParams, seed: u64) -> ElectionResult {
+    let cloud = Cloud::new(CloudProfile::aws_2018().exact(), seed);
+    BlackboardTransport::setup(&cloud.kv);
+    let observer = ElectionObserver::new();
+    let poll = SimDuration::from_secs_f64(1.0 / params.polls_per_second);
+    let timeout_scale = if params.scale_timeouts_with_poll {
+        (poll.as_secs_f64() / 0.25).max(1e-3)
+    } else {
+        1.0
+    };
+    let cfg = BullyConfig::blackboard_2018().scaled(timeout_scale);
+    // Convergence windows must scale with the protocol timeouts.
+    let settle = SimDuration::from_secs(60).mul_f64(timeout_scale.max(1.0));
+    let failover_window = SimDuration::from_secs(200).mul_f64(timeout_scale.max(1.0));
+    let members: Vec<NodeId> = (1..=params.nodes).collect();
+    let mut handles = Vec::new();
+    for &id in &members {
+        let host = cloud
+            .fabric
+            .add_host(0, faasim_net::NicConfig::simple(mbps(1_000.0)));
+        let t = BlackboardTransport::new(&cloud.sim, &cloud.kv, host, id, &members, poll);
+        handles.push(spawn_node(&cloud.sim, t, cfg.clone(), observer.clone()));
+    }
+
+    // Initial convergence.
+    cloud.sim.run_until(cloud.sim.now() + settle);
+    assert_eq!(
+        observer.current_leader(),
+        Some(params.nodes),
+        "cluster must elect the highest id"
+    );
+
+    // Steady-state request-rate measurement window (no elections).
+    let window = SimDuration::from_secs(60);
+    let reads0 = cloud.ledger.item_quantity(Service::Kv, "read-requests");
+    let writes0 = cloud.ledger.item_quantity(Service::Kv, "write-requests");
+    cloud.sim.run_until(cloud.sim.now() + window);
+    let reads1 = cloud.ledger.item_quantity(Service::Kv, "read-requests");
+    let writes1 = cloud.ledger.item_quantity(Service::Kv, "write-requests");
+    let steady_requests =
+        (reads1 - reads0 + writes1 - writes0) / window.as_secs_f64() / params.nodes as f64;
+
+    // Kill the current highest live node repeatedly; measure each
+    // re-election round.
+    let mut rounds = Vec::new();
+    let mut live_high = params.nodes;
+    for _ in 0..params.rounds {
+        if live_high <= 2 {
+            break;
+        }
+        let idx = (live_high - 1) as usize;
+        handles[idx].kill();
+        observer.mark_dead(live_high, cloud.sim.now());
+        let before = observer.rounds().len();
+        cloud.sim.run_until(cloud.sim.now() + failover_window);
+        let after = observer.rounds();
+        assert!(
+            after.len() > before,
+            "round did not complete after killing {live_high}"
+        );
+        rounds.push(after.last().expect("round").duration());
+        live_high -= 1;
+    }
+    for h in &handles {
+        h.kill();
+    }
+    cloud
+        .sim
+        .run_until(cloud.sim.now() + SimDuration::from_secs(5));
+
+    let mean_round = SimDuration::from_secs_f64(
+        rounds.iter().map(|d| d.as_secs_f64()).sum::<f64>() / rounds.len().max(1) as f64,
+    );
+    let fraction = mean_round.as_secs_f64() / params.lifetime.as_secs_f64();
+    let hourly = steady_requests
+        * params.extrapolate_nodes as f64
+        * 3600.0
+        * cloud.prices.kv_read_per_request;
+    ElectionResult {
+        mean_round,
+        fraction_electing: fraction,
+        requests_per_node_second: steady_requests,
+        hourly_cost_extrapolated: hourly,
+        rounds,
+    }
+}
+
+/// Parameters for the empirical churn study (the paper's ≥1.9% claim,
+/// measured instead of derived): every node is a Lambda with a bounded
+/// lifetime; when it dies, a fresh invocation with the same identity
+/// rejoins moments later, and each join/death disturbs agreement.
+#[derive(Clone, Debug)]
+pub struct ChurnParams {
+    /// Cluster size.
+    pub nodes: u64,
+    /// Poll rate (paper: 4/s).
+    pub polls_per_second: f64,
+    /// Function lifetime (paper: 900 s).
+    pub lifetime: SimDuration,
+    /// Delay between a death and its replacement invocation joining.
+    pub respawn_delay: SimDuration,
+    /// Measurement window after initial convergence.
+    pub window: SimDuration,
+}
+
+impl Default for ChurnParams {
+    fn default() -> Self {
+        ChurnParams {
+            nodes: 10,
+            polls_per_second: 4.0,
+            lifetime: SimDuration::from_secs(900),
+            respawn_delay: SimDuration::from_millis(300),
+            window: SimDuration::from_hours(2),
+        }
+    }
+}
+
+impl ChurnParams {
+    /// Reduced scale for tests.
+    pub fn quick() -> ChurnParams {
+        ChurnParams {
+            nodes: 5,
+            lifetime: SimDuration::from_secs(300),
+            window: SimDuration::from_secs(1_800),
+            ..ChurnParams::default()
+        }
+    }
+}
+
+/// Outcome of the churn study.
+#[derive(Clone, Debug)]
+pub struct ChurnResult {
+    /// Measurement window.
+    pub window: SimDuration,
+    /// Time agreement was disturbed within the window.
+    pub disturbed: SimDuration,
+    /// `disturbed / window` — the paper claims ≥1.9% in the best case.
+    pub fraction: f64,
+    /// Agreement rounds completed during the window.
+    pub rounds: usize,
+}
+
+/// Run the churn study: nodes live for one Lambda lifetime, die, and are
+/// replaced; measure the fraction of time the cluster lacks agreement.
+pub fn run_churn(params: &ChurnParams, seed: u64) -> ChurnResult {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let cloud = Cloud::new(CloudProfile::aws_2018().exact(), seed);
+    BlackboardTransport::setup(&cloud.kv);
+    let observer = ElectionObserver::new();
+    let poll = SimDuration::from_secs_f64(1.0 / params.polls_per_second);
+    let cfg = BullyConfig::blackboard_2018().scaled(poll.as_secs_f64() / 0.25);
+    let members: Vec<NodeId> = (1..=params.nodes).collect();
+
+    // One driver task per identity: spawn, live one lifetime, die, rejoin.
+    let handles: Rc<RefCell<Vec<faasim_protocols::NodeHandle>>> =
+        Rc::new(RefCell::new(Vec::new()));
+    for &id in &members {
+        let sim = cloud.sim.clone();
+        let kv = cloud.kv.clone();
+        let fabric = cloud.fabric.clone();
+        let observer = observer.clone();
+        let cfg = cfg.clone();
+        let members = members.clone();
+        let lifetime = params.lifetime;
+        let respawn = params.respawn_delay;
+        let handles = handles.clone();
+        let nodes = params.nodes;
+        cloud.sim.clone().spawn(async move {
+            // Stagger deaths uniformly across the lifetime.
+            let stagger = lifetime.mul_f64(id as f64 / nodes as f64);
+            let mut first = true;
+            loop {
+                let host = fabric.add_host(0, faasim_net::NicConfig::simple(mbps(1_000.0)));
+                let t = BlackboardTransport::new(&sim, &kv, host, id, &members, poll);
+                let handle = spawn_node(&sim, t, cfg.clone(), observer.clone());
+                let this_life = if first { stagger } else { lifetime };
+                first = false;
+                sim.sleep(this_life).await;
+                handle.kill();
+                observer.mark_dead(id, sim.now());
+                handles.borrow_mut().push(handle);
+                sim.sleep(respawn).await;
+            }
+        });
+    }
+
+    // Let the cluster converge once, then measure.
+    let settle = cfg.answer_timeout * 3;
+    cloud.sim.run_until(cloud.sim.now() + settle);
+    let from = cloud.sim.now();
+    cloud.sim.run_until(from + params.window);
+    let to = cloud.sim.now();
+
+    let disturbed = observer.disturbed_time(from, to);
+    let rounds = observer
+        .rounds()
+        .iter()
+        .filter(|r| r.completed_at > from && r.completed_at <= to)
+        .count();
+    ChurnResult {
+        window: params.window,
+        disturbed,
+        fraction: disturbed / params.window,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_reproduces_case_study_shape() {
+        let params = ElectionParams::quick();
+        let r = run(&params, 42);
+        // Paper: 16.7 s per round at 4 Hz polling.
+        let secs = r.mean_round.as_secs_f64();
+        assert!((10.0..25.0).contains(&secs), "round {secs} s");
+        // Paper: ≥1.9% of aggregate time electing.
+        assert!(
+            (0.011..0.028).contains(&r.fraction_electing),
+            "fraction {}",
+            r.fraction_electing
+        );
+        // Paper footnote 6: 4 polls/s x 2 reads steady state.
+        assert!(
+            (7.0..10.5).contains(&r.requests_per_node_second),
+            "steady rate {}",
+            r.requests_per_node_second
+        );
+        // Paper: ≥$450/hr for 1,000 nodes.
+        assert!(
+            (380.0..560.0).contains(&r.hourly_cost_extrapolated),
+            "hourly {}",
+            r.hourly_cost_extrapolated
+        );
+        assert!(r.render(&params).contains("election round"));
+    }
+
+    #[test]
+    fn churn_fraction_matches_paper_scale() {
+        let r = run_churn(&ChurnParams::quick(), 42);
+        // The paper claims >= 1.9% of aggregate time electing in the best
+        // case; our empirical churn (deaths AND rejoins disturbing
+        // agreement) should land in the low single-digit percents.
+        assert!(
+            (0.005..0.08).contains(&r.fraction),
+            "churn fraction {} (disturbed {} of {})",
+            r.fraction,
+            r.disturbed,
+            r.window
+        );
+        assert!(r.rounds > 0, "no agreement rounds during churn");
+    }
+}

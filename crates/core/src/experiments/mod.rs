@@ -1,0 +1,16 @@
+//! The paper's tables, figures, and case studies as runnable experiments.
+//!
+//! Each submodule exposes a `Params` struct (with paper-faithful
+//! defaults plus a `quick()` variant for tests), a `run(params, seed)`
+//! entry point, and a structured result with a `render()` method that
+//! prints the paper-style table. The per-experiment index lives in
+//! DESIGN.md §4.
+
+pub mod agents_cmp;
+pub mod bandwidth;
+pub mod cold_starts;
+pub mod data_shipping;
+pub mod election;
+pub mod prediction;
+pub mod table1;
+pub mod training;

@@ -1,0 +1,177 @@
+//! Figure 1 substitute: search-interest curves for "map reduce" vs
+//! "serverless", 2004–2018.
+//!
+//! Google Trends data cannot be redistributed or regenerated offline, so
+//! this module models the figure's *claim* instead: MapReduce interest
+//! rises from the mid-2000s, peaks around 2014–15, and declines;
+//! serverless interest is negligible until ~2016, then rises steeply to
+//! match MapReduce's historic peak by the end of 2018 (the paper's
+//! publication window). The model is a pair of logistic adoption curves
+//! (one with decay) plus mild seasonality, normalized to 100 like Trends.
+
+/// One month of the two series.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct TrendPoint {
+    /// Year (2004..=2018).
+    pub year: u32,
+    /// Month (1..=12).
+    pub month: u32,
+    /// Normalized interest for "map reduce" (0–100).
+    pub map_reduce: f64,
+    /// Normalized interest for "serverless" (0–100).
+    pub serverless: f64,
+}
+
+fn logistic(t: f64, mid: f64, rate: f64) -> f64 {
+    1.0 / (1.0 + (-(t - mid) * rate).exp())
+}
+
+/// Generate the monthly series from January 2004 through December 2018.
+pub fn generate() -> Vec<TrendPoint> {
+    let mut raw = Vec::new();
+    for year in 2004..=2018u32 {
+        for month in 1..=12u32 {
+            let t = (year - 2004) as f64 + (month - 1) as f64 / 12.0; // years since 2004-01
+            // MapReduce: adoption from ~2006, peak 2013–14, slow decline.
+            let mr_rise = logistic(t, 5.5, 0.7);
+            let mr_decline = 1.0 - 0.5 * logistic(t, 12.0, 1.0);
+            let mr = mr_rise * mr_decline;
+            // Serverless: takeoff ~2016.8, still climbing at publication.
+            let sv = logistic(t, 13.8, 1.8);
+            // Mild seasonality (search interest dips in (northern) summer
+            // and December).
+            let season = 1.0
+                - 0.04 * ((month as f64 - 7.0).abs() < 1.5) as u8 as f64
+                - 0.03 * (month == 12) as u8 as f64;
+            raw.push((year, month, mr * season, sv * season));
+        }
+    }
+    // Normalize like Trends: global max across both series = 100.
+    let max = raw
+        .iter()
+        .flat_map(|&(_, _, a, b)| [a, b])
+        .fold(f64::MIN, f64::max);
+    raw.into_iter()
+        .map(|(year, month, mr, sv)| TrendPoint {
+            year,
+            month,
+            map_reduce: mr / max * 100.0,
+            serverless: sv / max * 100.0,
+        })
+        .collect()
+}
+
+/// Render an ASCII chart of both series (one row per quarter).
+pub fn ascii_chart(points: &[TrendPoint], width: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<8} {:<width$}  (M = \"map reduce\", S = \"serverless\", X = both)\n",
+        "month", "interest 0..100",
+    ));
+    for p in points.iter().filter(|p| p.month % 3 == 1) {
+        let m_pos = (p.map_reduce / 100.0 * (width - 1) as f64).round() as usize;
+        let s_pos = (p.serverless / 100.0 * (width - 1) as f64).round() as usize;
+        let mut line = vec![b' '; width];
+        line[m_pos] = b'M';
+        if s_pos == m_pos {
+            line[s_pos] = b'X';
+        } else {
+            line[s_pos] = b'S';
+        }
+        out.push_str(&format!(
+            "{:04}-{:02}  {}\n",
+            p.year,
+            p.month,
+            String::from_utf8(line).expect("ascii")
+        ));
+    }
+    out
+}
+
+/// The figure's quantitative claims, extracted for assertions:
+/// `(mapreduce_peak, serverless_final, crossover)` where `crossover` is
+/// the first `(year, month)` at which serverless exceeds map reduce.
+pub fn headline_claims(points: &[TrendPoint]) -> (f64, f64, Option<(u32, u32)>) {
+    let mr_peak = points.iter().map(|p| p.map_reduce).fold(f64::MIN, f64::max);
+    let sv_final = points.last().map(|p| p.serverless).unwrap_or(0.0);
+    let crossover = points
+        .iter()
+        .find(|p| p.serverless > p.map_reduce)
+        .map(|p| (p.year, p.month));
+    (mr_peak, sv_final, crossover)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_covers_publication_window() {
+        let pts = generate();
+        assert_eq!(pts.len(), 15 * 12);
+        assert_eq!((pts[0].year, pts[0].month), (2004, 1));
+        let last = pts.last().unwrap();
+        assert_eq!((last.year, last.month), (2018, 12));
+    }
+
+    #[test]
+    fn values_normalized_to_100() {
+        let pts = generate();
+        let max = pts
+            .iter()
+            .flat_map(|p| [p.map_reduce, p.serverless])
+            .fold(f64::MIN, f64::max);
+        assert!((max - 100.0).abs() < 1e-9);
+        assert!(pts
+            .iter()
+            .all(|p| p.map_reduce >= 0.0 && p.serverless >= 0.0));
+    }
+
+    #[test]
+    fn reproduces_figure_one_claims() {
+        let pts = generate();
+        let (mr_peak, sv_final, crossover) = headline_claims(&pts);
+        // Serverless matches MapReduce's historic peak by publication.
+        assert!(
+            sv_final > mr_peak * 0.9,
+            "serverless {sv_final} vs MR peak {mr_peak}"
+        );
+        // The crossover happens in the 2017–2018 window.
+        let (y, _m) = crossover.expect("series must cross");
+        assert!((2017..=2018).contains(&y), "crossover in {y}");
+        // MapReduce interest in 2004 is negligible, and by 2018 it has
+        // declined well below its peak.
+        assert!(pts[0].map_reduce < 5.0);
+        let mr_final = pts.last().unwrap().map_reduce;
+        assert!(mr_final < mr_peak * 0.7, "MR {mr_final} vs peak {mr_peak}");
+    }
+
+    #[test]
+    fn mapreduce_peaks_mid_2010s() {
+        let pts = generate();
+        let peak = pts
+            .iter()
+            .max_by(|a, b| a.map_reduce.partial_cmp(&b.map_reduce).unwrap())
+            .unwrap();
+        assert!(
+            (2012..=2016).contains(&peak.year),
+            "MR peak at {}-{}",
+            peak.year,
+            peak.month
+        );
+    }
+
+    #[test]
+    fn ascii_chart_is_plottable() {
+        let pts = generate();
+        let chart = ascii_chart(&pts, 60);
+        assert!(chart.contains("2018-10"));
+        assert!(chart.contains('M'));
+        assert!(chart.contains('S'));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(generate(), generate());
+    }
+}

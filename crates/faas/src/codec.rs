@@ -1,0 +1,87 @@
+//! Length-prefixed framing for passing a batch of documents through a
+//! single `Bytes` payload (FaaS payloads are opaque byte strings, so
+//! multi-message batches need an encoding).
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Encode a batch of byte strings into one payload.
+pub fn encode_batch(items: &[Bytes]) -> Bytes {
+    let total: usize = items.iter().map(|i| i.len() + 4).sum();
+    let mut buf = BytesMut::with_capacity(4 + total);
+    buf.put_u32_le(items.len() as u32);
+    for item in items {
+        buf.put_u32_le(item.len() as u32);
+        buf.put_slice(item);
+    }
+    buf.freeze()
+}
+
+/// Decode a payload produced by [`encode_batch`]. Returns `None` on
+/// malformed input.
+pub fn decode_batch(payload: &Bytes) -> Option<Vec<Bytes>> {
+    let mut offset = 0usize;
+    let read_u32 = |offset: &mut usize| -> Option<u32> {
+        let bytes = payload.get(*offset..*offset + 4)?;
+        *offset += 4;
+        Some(u32::from_le_bytes(bytes.try_into().ok()?))
+    };
+    let count = read_u32(&mut offset)? as usize;
+    // Guard against absurd counts from corrupt prefixes.
+    if count > payload.len() {
+        return None;
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let len = read_u32(&mut offset)? as usize;
+        let item = payload.get(offset..offset + len)?;
+        offset += len;
+        out.push(payload.slice_ref(item));
+    }
+    if offset != payload.len() {
+        return None; // trailing garbage
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let items = vec![
+            Bytes::from_static(b"one"),
+            Bytes::new(),
+            Bytes::from(vec![7u8; 1000]),
+        ];
+        let encoded = encode_batch(&items);
+        let decoded = decode_batch(&encoded).unwrap();
+        assert_eq!(decoded, items);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let encoded = encode_batch(&[]);
+        assert_eq!(decode_batch(&encoded).unwrap(), Vec::<Bytes>::new());
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(decode_batch(&Bytes::from_static(b"")).is_none());
+        assert!(decode_batch(&Bytes::from_static(b"\x01\x00")).is_none());
+        // Valid prefix but truncated body.
+        let mut good = encode_batch(&[Bytes::from_static(b"hello")]).to_vec();
+        good.truncate(good.len() - 1);
+        assert!(decode_batch(&Bytes::from(good)).is_none());
+        // Trailing garbage.
+        let mut padded = encode_batch(&[Bytes::from_static(b"x")]).to_vec();
+        padded.push(0);
+        assert!(decode_batch(&Bytes::from(padded)).is_none());
+    }
+
+    #[test]
+    fn absurd_count_rejected() {
+        let bogus = Bytes::from(u32::MAX.to_le_bytes().to_vec());
+        assert!(decode_batch(&bogus).is_none());
+    }
+}

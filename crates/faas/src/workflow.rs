@@ -1,0 +1,382 @@
+//! A Step-Functions-style workflow orchestrator over the FaaS platform —
+//! the managed version of §2's *function composition* pattern, so
+//! applications don't hand-roll the queue-stitching the paper's Autodesk
+//! case study describes.
+//!
+//! A workflow is a small expression tree: sequences, parallel fan-outs
+//! (payload broadcast, outputs re-joined as an encoded batch), and
+//! per-step retries. The orchestrator itself is a managed control plane:
+//! each state transition pays a (small) transition latency, and every
+//! step is a full Lambda invocation with all of Table 1's overheads —
+//! which is why even a "fast" workflow accumulates hundreds of
+//! milliseconds per step.
+
+use bytes::Bytes;
+use faasim_simcore::{join_all, LatencyModel, SimDuration};
+
+use crate::codec::encode_batch;
+use crate::platform::{FaasPlatform, FnError, InvokeOutcome};
+
+/// One node of a workflow definition.
+#[derive(Clone, Debug)]
+pub enum Step {
+    /// Invoke a named function with the current payload.
+    Invoke {
+        /// Function name.
+        func: String,
+        /// Attempts before giving up (≥1); retries re-invoke on handler
+        /// error or timeout.
+        attempts: u32,
+    },
+    /// Run branches concurrently on the same input; their outputs are
+    /// joined with [`crate::codec::encode_batch`] in branch order.
+    Parallel(Vec<Workflow>),
+}
+
+/// A workflow: an ordered list of steps.
+#[derive(Clone, Debug, Default)]
+pub struct Workflow {
+    steps: Vec<Step>,
+}
+
+/// Where a workflow run ended up.
+#[derive(Clone, Debug)]
+pub struct WorkflowOutcome {
+    /// Final payload (of the last step / joined branches).
+    pub result: Result<Bytes, WorkflowError>,
+    /// Total invocations made (including retries).
+    pub invocations: u32,
+    /// End-to-end latency.
+    pub total: SimDuration,
+}
+
+/// A workflow failure: which function, after how many attempts, and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkflowError {
+    /// The failing function.
+    pub func: String,
+    /// Attempts made.
+    pub attempts: u32,
+    /// The last error.
+    pub error: FnError,
+}
+
+impl std::fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "step {:?} failed after {} attempt(s): {}",
+            self.func, self.attempts, self.error
+        )
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+impl Workflow {
+    /// An empty workflow (the identity on payloads).
+    pub fn new() -> Workflow {
+        Workflow::default()
+    }
+
+    /// Append a single-attempt invocation step.
+    pub fn then(mut self, func: impl Into<String>) -> Workflow {
+        self.steps.push(Step::Invoke {
+            func: func.into(),
+            attempts: 1,
+        });
+        self
+    }
+
+    /// Append an invocation step with retries.
+    pub fn then_with_retries(mut self, func: impl Into<String>, attempts: u32) -> Workflow {
+        self.steps.push(Step::Invoke {
+            func: func.into(),
+            attempts: attempts.max(1),
+        });
+        self
+    }
+
+    /// Append a parallel fan-out of sub-workflows.
+    pub fn parallel(mut self, branches: Vec<Workflow>) -> Workflow {
+        self.steps.push(Step::Parallel(branches));
+        self
+    }
+
+    /// Number of steps (top level).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True for the empty workflow.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// The orchestrator control plane.
+#[derive(Clone)]
+pub struct Orchestrator {
+    platform: FaasPlatform,
+    /// Latency of each state transition in the orchestrator (Step
+    /// Functions bills and delays per transition; ~25 ms observed).
+    pub transition_latency: LatencyModel,
+}
+
+impl Orchestrator {
+    /// Create an orchestrator over a platform.
+    pub fn new(platform: &FaasPlatform) -> Orchestrator {
+        Orchestrator {
+            platform: platform.clone(),
+            transition_latency: LatencyModel::Constant(SimDuration::from_millis(25)),
+        }
+    }
+
+    /// Execute `workflow` on `input`.
+    pub async fn run(&self, workflow: &Workflow, input: Bytes) -> WorkflowOutcome {
+        let sim = self.platform.sim_handle();
+        let t0 = sim.now();
+        let mut invocations = 0u32;
+        let result = self.run_steps(&workflow.steps, input, &mut invocations).await;
+        WorkflowOutcome {
+            result,
+            invocations,
+            total: sim.now() - t0,
+        }
+    }
+
+    async fn run_steps(
+        &self,
+        steps: &[Step],
+        mut payload: Bytes,
+        invocations: &mut u32,
+    ) -> Result<Bytes, WorkflowError> {
+        let sim = self.platform.sim_handle();
+        for step in steps {
+            let d = {
+                let mut rng = sim.rng("faas.orchestrator");
+                self.transition_latency.sample(&mut rng)
+            };
+            sim.sleep(d).await;
+            match step {
+                Step::Invoke { func, attempts } => {
+                    let mut last: Option<InvokeOutcome> = None;
+                    let mut made = 0u32;
+                    for _ in 0..*attempts {
+                        made += 1;
+                        *invocations += 1;
+                        let out = self.platform.invoke(func, payload.clone()).await;
+                        let ok = out.result.is_ok();
+                        last = Some(out);
+                        if ok {
+                            break;
+                        }
+                    }
+                    let out = last.expect("attempts >= 1");
+                    match out.result {
+                        Ok(next) => payload = next,
+                        Err(error) => {
+                            return Err(WorkflowError {
+                                func: func.clone(),
+                                attempts: made,
+                                error,
+                            })
+                        }
+                    }
+                }
+                Step::Parallel(branches) => {
+                    // Fan out: each branch sees the same input. Each
+                    // branch tracks its own invocation count; sum after.
+                    let futs: Vec<_> = branches
+                        .iter()
+                        .map(|branch| {
+                            let this = self.clone();
+                            let input = payload.clone();
+                            let branch = branch.clone();
+                            async move {
+                                let mut n = 0u32;
+                                let r = this.run_steps(&branch.steps, input, &mut n).await;
+                                (r, n)
+                            }
+                        })
+                        .collect();
+                    let outcomes = join_all(futs).await;
+                    let mut outputs = Vec::with_capacity(outcomes.len());
+                    for (r, n) in outcomes {
+                        *invocations += n;
+                        outputs.push(r?);
+                    }
+                    payload = encode_batch(&outputs);
+                }
+            }
+        }
+        Ok(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::decode_batch;
+    use crate::config::FaasProfile;
+    use crate::platform::FunctionSpec;
+    use faasim_net::{Fabric, NetProfile};
+    use faasim_pricing::{Ledger, PriceBook};
+    use faasim_simcore::{Recorder, Sim};
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    fn setup() -> (Sim, FaasPlatform) {
+        let sim = Sim::new(71);
+        let recorder = Recorder::new();
+        let fabric = Fabric::new(&sim, NetProfile::aws_2018().exact(), recorder.clone());
+        let platform = FaasPlatform::new(
+            &sim,
+            &fabric,
+            FaasProfile::aws_2018().exact(),
+            Rc::new(PriceBook::aws_2018()),
+            Ledger::new(),
+            recorder,
+        );
+        (sim, platform)
+    }
+
+    fn appender(name: &'static str, suffix: &'static str) -> FunctionSpec {
+        FunctionSpec::new(
+            name,
+            128,
+            SimDuration::from_secs(30),
+            move |_ctx, payload| async move {
+                let mut v = payload.to_vec();
+                v.extend_from_slice(suffix.as_bytes());
+                Ok(Bytes::from(v))
+            },
+        )
+    }
+
+    #[test]
+    fn sequence_threads_payloads() {
+        let (sim, platform) = setup();
+        platform.register(appender("a", "-a"));
+        platform.register(appender("b", "-b"));
+        let wf = Workflow::new().then("a").then("b");
+        assert_eq!(wf.len(), 2);
+        let orch = Orchestrator::new(&platform);
+        let out = sim.block_on(async move { orch.run(&wf, Bytes::from_static(b"x")).await });
+        assert_eq!(&out.result.unwrap()[..], b"x-a-b");
+        assert_eq!(out.invocations, 2);
+        // Two steps: ≥ 2 invocation overheads + a cold start each (fresh
+        // containers) — composition pays Table 1 per hop.
+        assert!(out.total.as_secs_f64() > 0.6);
+    }
+
+    #[test]
+    fn parallel_fans_out_and_joins_in_order() {
+        let (sim, platform) = setup();
+        platform.register(appender("left", "-L"));
+        platform.register(appender("right", "-R"));
+        platform.register(FunctionSpec::new(
+            "join",
+            128,
+            SimDuration::from_secs(30),
+            |_ctx, payload| async move {
+                let parts = decode_batch(&payload).expect("joined batch");
+                let mut v = Vec::new();
+                for p in parts {
+                    v.extend_from_slice(&p);
+                    v.push(b'+');
+                }
+                Ok(Bytes::from(v))
+            },
+        ));
+        let wf = Workflow::new()
+            .parallel(vec![
+                Workflow::new().then("left"),
+                Workflow::new().then("right"),
+            ])
+            .then("join");
+        let orch = Orchestrator::new(&platform);
+        let out = sim.block_on(async move { orch.run(&wf, Bytes::from_static(b"x")).await });
+        assert_eq!(&out.result.unwrap()[..], b"x-L+x-R+");
+        assert_eq!(out.invocations, 3);
+    }
+
+    #[test]
+    fn parallel_branches_overlap_in_time() {
+        let (sim, platform) = setup();
+        platform.register(FunctionSpec::new(
+            "slow",
+            128,
+            SimDuration::from_secs(60),
+            |ctx, p| async move {
+                ctx.sim().sleep(SimDuration::from_secs(10)).await;
+                Ok(p)
+            },
+        ));
+        let wf = Workflow::new().parallel(vec![
+            Workflow::new().then("slow"),
+            Workflow::new().then("slow"),
+            Workflow::new().then("slow"),
+        ]);
+        let orch = Orchestrator::new(&platform);
+        let out = sim.block_on(async move { orch.run(&wf, Bytes::new()).await });
+        assert!(out.result.is_ok());
+        // Three 10 s branches concurrently: ~10 s + overheads, not ~30 s.
+        let secs = out.total.as_secs_f64();
+        assert!(secs < 18.0, "parallel branches serialized: {secs}s");
+    }
+
+    #[test]
+    fn retries_then_success_and_failure_reporting() {
+        let (sim, platform) = setup();
+        let tries = Rc::new(Cell::new(0u32));
+        let t = tries.clone();
+        platform.register(FunctionSpec::new(
+            "flaky",
+            128,
+            SimDuration::from_secs(30),
+            move |_ctx, p| {
+                let t = t.clone();
+                async move {
+                    t.set(t.get() + 1);
+                    if t.get() < 3 {
+                        Err(FnError::Handler("transient".into()))
+                    } else {
+                        Ok(p)
+                    }
+                }
+            },
+        ));
+        platform.register(FunctionSpec::new(
+            "always-fails",
+            128,
+            SimDuration::from_secs(30),
+            |_ctx, _| async move { Err(FnError::Handler("permanent".into())) },
+        ));
+        let orch = Orchestrator::new(&platform);
+        let wf_ok = Workflow::new().then_with_retries("flaky", 5);
+        let o2 = orch.clone();
+        let ok = sim.block_on(async move { o2.run(&wf_ok, Bytes::new()).await });
+        assert!(ok.result.is_ok());
+        assert_eq!(ok.invocations, 3, "two failures then success");
+
+        let wf_bad = Workflow::new().then_with_retries("always-fails", 2).then("flaky");
+        let bad = sim.block_on(async move { orch.run(&wf_bad, Bytes::new()).await });
+        let err = bad.result.unwrap_err();
+        assert_eq!(err.func, "always-fails");
+        assert_eq!(err.attempts, 2);
+        // The downstream step never ran.
+        assert_eq!(bad.invocations, 2);
+    }
+
+    #[test]
+    fn empty_workflow_is_identity() {
+        let (sim, platform) = setup();
+        let orch = Orchestrator::new(&platform);
+        let wf = Workflow::new();
+        assert!(wf.is_empty());
+        let out = sim.block_on(async move { orch.run(&wf, Bytes::from_static(b"same")).await });
+        assert_eq!(&out.result.unwrap()[..], b"same");
+        assert_eq!(out.invocations, 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! The prediction-serving workload from §3.1's second case study: a
+//! document classifier that marks each word "dirty" or not against a
+//! blacklist and rewrites the document with dirty words replaced by
+//! punctuation — "our model in this experiment is a simple blacklist of
+//! dirty words".
+
+use std::collections::HashSet;
+
+/// The blacklist "model".
+#[derive(Clone, Debug)]
+pub struct DirtyWordModel {
+    blacklist: HashSet<String>,
+}
+
+/// Result of censoring one document.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Censored {
+    /// The rewritten document.
+    pub text: String,
+    /// How many words were replaced.
+    pub dirty_count: usize,
+    /// Total words inspected.
+    pub word_count: usize,
+}
+
+impl DirtyWordModel {
+    /// Build from a word list (case-insensitive).
+    pub fn new<I, S>(words: I) -> DirtyWordModel
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        DirtyWordModel {
+            blacklist: words
+                .into_iter()
+                .map(|w| w.as_ref().to_ascii_lowercase())
+                .collect(),
+        }
+    }
+
+    /// A deterministic synthetic blacklist of `n` words, for workloads.
+    pub fn synthetic(n: usize) -> DirtyWordModel {
+        DirtyWordModel::new((0..n).map(|i| format!("dirty{i}")))
+    }
+
+    /// Number of blacklisted words.
+    pub fn len(&self) -> usize {
+        self.blacklist.len()
+    }
+
+    /// True when the blacklist is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blacklist.is_empty()
+    }
+
+    /// Serialized size of the model in bytes (what a Lambda would fetch
+    /// from the object store on every invocation in the unoptimized
+    /// deployment).
+    pub fn wire_bytes(&self) -> u64 {
+        self.blacklist.iter().map(|w| w.len() as u64 + 1).sum()
+    }
+
+    /// Classify one word.
+    pub fn is_dirty(&self, word: &str) -> bool {
+        self.blacklist.contains(&word.to_ascii_lowercase())
+    }
+
+    /// Censor a document: dirty words are replaced by punctuation marks of
+    /// the same length.
+    pub fn censor(&self, text: &str) -> Censored {
+        let mut out = String::with_capacity(text.len());
+        let mut dirty = 0usize;
+        let mut words = 0usize;
+        for (i, token) in text.split(' ').enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            if token.is_empty() {
+                continue;
+            }
+            words += 1;
+            let core: String = token
+                .chars()
+                .filter(|c| c.is_ascii_alphanumeric())
+                .collect();
+            if !core.is_empty() && self.is_dirty(&core) {
+                dirty += 1;
+                for c in token.chars() {
+                    out.push(if c.is_ascii_alphanumeric() { '*' } else { c });
+                }
+            } else {
+                out.push_str(token);
+            }
+        }
+        Censored {
+            text: out,
+            dirty_count: dirty,
+            word_count: words,
+        }
+    }
+
+    /// Censor a batch of documents (the unit of work per SQS batch).
+    pub fn censor_batch<'a>(&self, docs: impl IntoIterator<Item = &'a str>) -> Vec<Censored> {
+        docs.into_iter().map(|d| self.censor(d)).collect()
+    }
+}
+
+/// Deterministic synthetic document generator for the serving workload.
+pub fn synthetic_document(blacklist_size: usize, words: usize, seed: u64) -> String {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545F4914F6CDD1D)
+    };
+    let mut out = Vec::with_capacity(words);
+    for _ in 0..words {
+        let r = next();
+        if r % 10 == 0 && blacklist_size > 0 {
+            out.push(format!("dirty{}", r as usize % blacklist_size));
+        } else {
+            out.push(format!("clean{}", r % 5000));
+        }
+    }
+    out.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn censors_dirty_words_preserving_shape() {
+        let model = DirtyWordModel::new(["darn", "heck"]);
+        let out = model.censor("well darn that Heck-ish thing");
+        assert_eq!(out.text, "well **** that Heck-ish thing");
+        assert_eq!(out.dirty_count, 1);
+        assert_eq!(out.word_count, 5);
+    }
+
+    #[test]
+    fn punctuation_inside_dirty_word_is_kept() {
+        let model = DirtyWordModel::new(["darn"]);
+        let out = model.censor("d'arn? no: darn!");
+        // "d'arn?" strips to "darn" => censored keeping the apostrophe.
+        assert_eq!(out.text, "*'***? no: ****!");
+        assert_eq!(out.dirty_count, 2);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let model = DirtyWordModel::new(["BAD"]);
+        assert!(model.is_dirty("bad"));
+        assert!(model.is_dirty("BaD"));
+        assert!(!model.is_dirty("good"));
+    }
+
+    #[test]
+    fn empty_and_clean_documents() {
+        let model = DirtyWordModel::synthetic(10);
+        let out = model.censor("");
+        assert_eq!(out.word_count, 0);
+        assert_eq!(out.dirty_count, 0);
+        let clean = model.censor("all fine here");
+        assert_eq!(clean.text, "all fine here");
+        assert_eq!(clean.dirty_count, 0);
+    }
+
+    #[test]
+    fn synthetic_blacklist_and_documents_interact() {
+        let model = DirtyWordModel::synthetic(50);
+        assert_eq!(model.len(), 50);
+        assert!(!model.is_empty());
+        assert!(model.wire_bytes() > 0);
+        let doc = synthetic_document(50, 200, 9);
+        let out = model.censor(&doc);
+        assert_eq!(out.word_count, 200);
+        // ~10% of tokens are dirty by construction.
+        assert!(
+            out.dirty_count > 5 && out.dirty_count < 60,
+            "dirty {}",
+            out.dirty_count
+        );
+    }
+
+    #[test]
+    fn synthetic_document_is_deterministic() {
+        assert_eq!(synthetic_document(10, 50, 4), synthetic_document(10, 50, 4));
+        assert_ne!(synthetic_document(10, 50, 4), synthetic_document(10, 50, 5));
+    }
+
+    #[test]
+    fn batch_matches_singles() {
+        let model = DirtyWordModel::synthetic(5);
+        let docs = ["dirty0 x", "clean only"];
+        let batch = model.censor_batch(docs);
+        assert_eq!(batch[0], model.censor(docs[0]));
+        assert_eq!(batch[1], model.censor(docs[1]));
+    }
+}

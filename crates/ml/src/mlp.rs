@@ -1,0 +1,451 @@
+//! A dependency-free multi-layer perceptron.
+//!
+//! This is the model from the paper's §3.1 training case study: "a
+//! multi-layer perceptron with two hidden layers, each with 10 neurons and
+//! a Relu activation function", over 6,787 bag-of-words features,
+//! predicting the average customer rating (a regression head trained with
+//! squared error). Inputs are sparse, so the first layer's forward and
+//! backward touch only the active features.
+
+use crate::sparse::SparseVec;
+
+/// One dense layer, row-major weights `[out_dim x in_dim]`.
+#[derive(Clone, Debug)]
+pub struct Dense {
+    /// Fan-in.
+    pub in_dim: usize,
+    /// Fan-out.
+    pub out_dim: usize,
+    /// Weights, row-major: `w[o * in_dim + i]`.
+    pub w: Vec<f32>,
+    /// Biases, length `out_dim`.
+    pub b: Vec<f32>,
+}
+
+impl Dense {
+    fn new(in_dim: usize, out_dim: usize, rng: &mut impl FnMut() -> f32) -> Dense {
+        // He initialization for ReLU nets.
+        let scale = (2.0 / in_dim as f32).sqrt();
+        let w = (0..in_dim * out_dim).map(|_| rng() * scale).collect();
+        Dense {
+            in_dim,
+            out_dim,
+            w,
+            b: vec![0.0; out_dim],
+        }
+    }
+
+    fn forward_dense(&self, x: &[f32], out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.out_dim);
+        for o in 0..self.out_dim {
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = self.b[o];
+            for (wi, xi) in row.iter().zip(x.iter()) {
+                acc += wi * xi;
+            }
+            out.push(acc);
+        }
+    }
+
+    fn forward_sparse(&self, x: &SparseVec, out: &mut Vec<f32>) {
+        out.clear();
+        out.extend_from_slice(&self.b);
+        for (&idx, &val) in x.indices.iter().zip(x.values.iter()) {
+            let idx = idx as usize;
+            debug_assert!(idx < self.in_dim);
+            for (o, acc) in out.iter_mut().enumerate() {
+                *acc += self.w[o * self.in_dim + idx] * val;
+            }
+        }
+    }
+
+    /// Number of parameters (weights + biases).
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+/// Activations cached by a forward pass, consumed by backward.
+#[derive(Clone, Debug, Default)]
+pub struct Tape {
+    /// Pre-activation values per layer.
+    pre: Vec<Vec<f32>>,
+    /// Post-activation values per layer (last layer is linear).
+    post: Vec<Vec<f32>>,
+}
+
+/// Gradients with the same shapes as the model parameters.
+#[derive(Clone, Debug)]
+pub struct Gradients {
+    /// Per-layer weight gradients.
+    pub w: Vec<Vec<f32>>,
+    /// Per-layer bias gradients.
+    pub b: Vec<Vec<f32>>,
+}
+
+impl Gradients {
+    /// Zero gradients shaped like `mlp`.
+    pub fn zeros_like(mlp: &Mlp) -> Gradients {
+        Gradients {
+            w: mlp.layers.iter().map(|l| vec![0.0; l.w.len()]).collect(),
+            b: mlp.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
+        }
+    }
+
+    /// Scale all gradients by `k` (e.g. 1/batch).
+    pub fn scale(&mut self, k: f32) {
+        for layer in self.w.iter_mut().chain(self.b.iter_mut()) {
+            for g in layer {
+                *g *= k;
+            }
+        }
+    }
+}
+
+/// The multi-layer perceptron: ReLU hidden layers, linear scalar output.
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    /// The layers, input to output.
+    pub layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Build an MLP with the given layer widths, e.g. `[6787, 10, 10, 1]`
+    /// for the paper's model. Initialization is deterministic in `seed`.
+    pub fn new(dims: &[usize], seed: u64) -> Mlp {
+        assert!(dims.len() >= 2, "need at least input and output dims");
+        // xorshift64* — deterministic, no external dependency needed here.
+        let mut state = seed.wrapping_mul(2685821657736338717).max(1);
+        let mut next_f32 = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let bits = state.wrapping_mul(0x2545F4914F6CDD1D);
+            // Map to roughly N(0,1) via sum of uniforms (Irwin–Hall, n=4).
+            let mut acc = 0.0f32;
+            let mut b = bits;
+            for _ in 0..4 {
+                acc += ((b & 0xFFFF) as f32 / 65536.0) - 0.5;
+                b >>= 16;
+            }
+            acc * (12.0f32 / 4.0).sqrt()
+        };
+        let layers = dims
+            .windows(2)
+            .map(|w| Dense::new(w[0], w[1], &mut next_f32))
+            .collect();
+        Mlp { layers }
+    }
+
+    /// The paper's training model: 6,787 features → 10 → 10 → 1.
+    pub fn paper_model(seed: u64) -> Mlp {
+        Mlp::new(&[6787, 10, 10, 1], seed)
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Dense::param_count).sum()
+    }
+
+    /// Forward pass on a sparse input; returns the scalar prediction and
+    /// the tape needed for backward.
+    pub fn forward(&self, x: &SparseVec) -> (f32, Tape) {
+        let mut tape = Tape::default();
+        let mut cur: Vec<f32> = Vec::new();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let mut pre = Vec::new();
+            if li == 0 {
+                layer.forward_sparse(x, &mut pre);
+            } else {
+                layer.forward_dense(&cur, &mut pre);
+            }
+            let last = li == self.layers.len() - 1;
+            let post: Vec<f32> = if last {
+                pre.clone()
+            } else {
+                pre.iter().map(|&v| v.max(0.0)).collect()
+            };
+            cur = post.clone();
+            tape.pre.push(pre);
+            tape.post.push(post);
+        }
+        (cur[0], tape)
+    }
+
+    /// Prediction without keeping the tape.
+    pub fn predict(&self, x: &SparseVec) -> f32 {
+        self.forward(x).0
+    }
+
+    /// Accumulate gradients of the squared-error loss `(pred - y)^2 / 2`
+    /// for one example into `grads`. Returns the loss.
+    pub fn backward(
+        &self,
+        x: &SparseVec,
+        y: f32,
+        tape: &Tape,
+        grads: &mut Gradients,
+    ) -> f32 {
+        let n_layers = self.layers.len();
+        let pred = tape.post[n_layers - 1][0];
+        let err = pred - y;
+        let loss = 0.5 * err * err;
+
+        // delta starts at the output and propagates backwards.
+        let mut delta: Vec<f32> = vec![err];
+        for li in (0..n_layers).rev() {
+            let layer = &self.layers[li];
+            // ReLU derivative for hidden layers (output layer is linear).
+            if li != n_layers - 1 {
+                for (d, &pre) in delta.iter_mut().zip(tape.pre[li].iter()) {
+                    if pre <= 0.0 {
+                        *d = 0.0;
+                    }
+                }
+            }
+            // Bias grads.
+            for (g, &d) in grads.b[li].iter_mut().zip(delta.iter()) {
+                *g += d;
+            }
+            // Weight grads and input delta.
+            if li == 0 {
+                for (&idx, &val) in x.indices.iter().zip(x.values.iter()) {
+                    let idx = idx as usize;
+                    for (o, &d) in delta.iter().enumerate() {
+                        grads.w[0][o * layer.in_dim + idx] += d * val;
+                    }
+                }
+            } else {
+                let input = &tape.post[li - 1];
+                for (o, &d) in delta.iter().enumerate() {
+                    let row = &mut grads.w[li][o * layer.in_dim..(o + 1) * layer.in_dim];
+                    for (g, &xi) in row.iter_mut().zip(input.iter()) {
+                        *g += d * xi;
+                    }
+                }
+                // Propagate delta to the previous layer.
+                let mut prev_delta = vec![0.0f32; layer.in_dim];
+                for (o, &d) in delta.iter().enumerate() {
+                    let row = &layer.w[o * layer.in_dim..(o + 1) * layer.in_dim];
+                    for (pd, &w) in prev_delta.iter_mut().zip(row.iter()) {
+                        *pd += d * w;
+                    }
+                }
+                delta = prev_delta;
+            }
+        }
+        loss
+    }
+
+    /// Mean squared-error-style loss and accumulated gradients over a batch.
+    /// Gradients are averaged over the batch.
+    pub fn batch_gradients(&self, xs: &[SparseVec], ys: &[f32]) -> (f32, Gradients) {
+        assert_eq!(xs.len(), ys.len());
+        assert!(!xs.is_empty(), "empty batch");
+        let mut grads = Gradients::zeros_like(self);
+        let mut total = 0.0;
+        for (x, &y) in xs.iter().zip(ys.iter()) {
+            let (_, tape) = self.forward(x);
+            total += self.backward(x, y, &tape, &mut grads);
+        }
+        let n = xs.len() as f32;
+        grads.scale(1.0 / n);
+        (total / n, grads)
+    }
+
+    /// Root-mean-squared error over a dataset.
+    pub fn rmse(&self, xs: &[SparseVec], ys: &[f32]) -> f32 {
+        assert_eq!(xs.len(), ys.len());
+        if xs.is_empty() {
+            return 0.0;
+        }
+        let sq: f32 = xs
+            .iter()
+            .zip(ys.iter())
+            .map(|(x, &y)| {
+                let e = self.predict(x) - y;
+                e * e
+            })
+            .sum();
+        (sq / xs.len() as f32).sqrt()
+    }
+
+    /// Visit all parameters and matching gradients as flat slices, layer by
+    /// layer — the optimizer's view of the model.
+    pub fn for_each_param_block(
+        &mut self,
+        grads: &Gradients,
+        mut f: impl FnMut(&mut [f32], &[f32]),
+    ) {
+        for (li, layer) in self.layers.iter_mut().enumerate() {
+            f(&mut layer.w, &grads.w[li]);
+            f(&mut layer.b, &grads.b[li]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_input(vals: &[f32]) -> SparseVec {
+        SparseVec {
+            indices: (0..vals.len() as u32).collect(),
+            values: vals.to_vec(),
+        }
+    }
+
+    #[test]
+    fn paper_model_shape() {
+        let m = Mlp::paper_model(1);
+        assert_eq!(m.layers.len(), 3);
+        assert_eq!(m.layers[0].in_dim, 6787);
+        assert_eq!(m.layers[0].out_dim, 10);
+        assert_eq!(m.layers[2].out_dim, 1);
+        // 6787*10 + 10 + 10*10 + 10 + 10*1 + 1 = 68,001.
+        assert_eq!(m.param_count(), 68_001);
+    }
+
+    #[test]
+    fn init_is_deterministic() {
+        let a = Mlp::paper_model(7);
+        let b = Mlp::paper_model(7);
+        let c = Mlp::paper_model(8);
+        assert_eq!(a.layers[0].w, b.layers[0].w);
+        assert_ne!(a.layers[0].w, c.layers[0].w);
+    }
+
+    #[test]
+    fn forward_matches_hand_computation() {
+        // 2 -> 2 -> 1, hand-set weights.
+        let mut m = Mlp::new(&[2, 2, 1], 1);
+        m.layers[0].w = vec![1.0, -1.0, 0.5, 0.5]; // rows: [1,-1], [0.5,0.5]
+        m.layers[0].b = vec![0.0, 1.0];
+        m.layers[1].w = vec![2.0, -3.0];
+        m.layers[1].b = vec![0.25];
+        let x = dense_input(&[2.0, 1.0]);
+        // pre1 = [2-1, 1+1+1] = [1, 3] (wait: 0.5*2+0.5*1+1 = 2.5)
+        // pre1 = [1.0, 2.5]; relu same; out = 2*1 - 3*2.5 + 0.25 = -5.25.
+        let (pred, _) = m.forward(&x);
+        assert!((pred - (-5.25)).abs() < 1e-6, "pred {pred}");
+    }
+
+    #[test]
+    fn relu_kills_negative_units() {
+        let mut m = Mlp::new(&[1, 1, 1], 1);
+        m.layers[0].w = vec![-1.0];
+        m.layers[0].b = vec![0.0];
+        m.layers[1].w = vec![5.0];
+        m.layers[1].b = vec![0.0];
+        let (pred, _) = m.forward(&dense_input(&[3.0]));
+        assert_eq!(pred, 0.0);
+    }
+
+    #[test]
+    fn sparse_and_dense_forward_agree() {
+        let m = Mlp::new(&[10, 4, 1], 3);
+        // Sparse vector with a few active indices.
+        let sparse = SparseVec {
+            indices: vec![1, 4, 7],
+            values: vec![0.5, -1.0, 2.0],
+        };
+        let mut dense = vec![0.0f32; 10];
+        dense[1] = 0.5;
+        dense[4] = -1.0;
+        dense[7] = 2.0;
+        let a = m.predict(&sparse);
+        let b = m.predict(&dense_input(&dense));
+        assert!((a - b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut m = Mlp::new(&[3, 4, 2, 1], 5);
+        let x = SparseVec {
+            indices: vec![0, 2],
+            values: vec![1.5, -0.5],
+        };
+        let y = 2.0f32;
+        let (_, tape) = m.forward(&x);
+        let mut grads = Gradients::zeros_like(&m);
+        m.backward(&x, y, &tape, &mut grads);
+
+        let eps = 1e-3f32;
+        // Check a sample of weights in every layer.
+        for li in 0..m.layers.len() {
+            let n = m.layers[li].w.len();
+            for &wi in &[0usize, n / 2, n - 1] {
+                let orig = m.layers[li].w[wi];
+                m.layers[li].w[wi] = orig + eps;
+                let (p_plus, _) = m.forward(&x);
+                m.layers[li].w[wi] = orig - eps;
+                let (p_minus, _) = m.forward(&x);
+                m.layers[li].w[wi] = orig;
+                let l_plus = 0.5 * (p_plus - y) * (p_plus - y);
+                let l_minus = 0.5 * (p_minus - y) * (p_minus - y);
+                let numeric = (l_plus - l_minus) / (2.0 * eps);
+                let analytic = grads.w[li][wi];
+                assert!(
+                    (numeric - analytic).abs() < 2e-2 * (1.0 + numeric.abs()),
+                    "layer {li} w[{wi}]: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+            // And one bias per layer.
+            let orig = m.layers[li].b[0];
+            m.layers[li].b[0] = orig + eps;
+            let (p_plus, _) = m.forward(&x);
+            m.layers[li].b[0] = orig - eps;
+            let (p_minus, _) = m.forward(&x);
+            m.layers[li].b[0] = orig;
+            let numeric = (0.5 * (p_plus - y) * (p_plus - y)
+                - 0.5 * (p_minus - y) * (p_minus - y))
+                / (2.0 * eps);
+            let analytic = grads.b[li][0];
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "layer {li} b[0]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_gradients_average() {
+        let m = Mlp::new(&[2, 2, 1], 9);
+        let xs = vec![dense_input(&[1.0, 0.0]), dense_input(&[0.0, 1.0])];
+        let ys = vec![1.0, -1.0];
+        let (loss, grads) = m.batch_gradients(&xs, &ys);
+        assert!(loss.is_finite());
+        // Averaged gradient equals mean of per-example gradients.
+        let mut g0 = Gradients::zeros_like(&m);
+        let (_, t0) = m.forward(&xs[0]);
+        m.backward(&xs[0], ys[0], &t0, &mut g0);
+        let mut g1 = Gradients::zeros_like(&m);
+        let (_, t1) = m.forward(&xs[1]);
+        m.backward(&xs[1], ys[1], &t1, &mut g1);
+        for (i, g) in grads.w[0].iter().enumerate() {
+            let want = (g0.w[0][i] + g1.w[0][i]) / 2.0;
+            assert!((g - want).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rmse_zero_on_perfect_fit() {
+        let mut m = Mlp::new(&[1, 1, 1], 1);
+        m.layers[0].w = vec![1.0];
+        m.layers[0].b = vec![0.0];
+        m.layers[1].w = vec![1.0];
+        m.layers[1].b = vec![0.0];
+        let xs = vec![dense_input(&[2.0])];
+        let ys = vec![2.0];
+        assert_eq!(m.rmse(&xs, &ys), 0.0);
+        assert_eq!(m.rmse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_panics() {
+        let m = Mlp::new(&[2, 1], 1);
+        m.batch_gradients(&[], &[]);
+    }
+}

@@ -1,0 +1,410 @@
+//! The datacenter fabric: racks, hosts, NICs, and pairwise latency.
+//!
+//! Latency between two hosts depends only on their placement tier
+//! (same host / same rack / cross rack), sampled from the profile's
+//! [`LatencyModel`]s. Bandwidth contention is modeled at each host's NIC
+//! with a [`FairShareLink`]; the fabric core is assumed non-blocking
+//! (true of modern Clos datacenter networks at the scales simulated here).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use faasim_simcore::{
+    Bps, FairShareLink, LatencyModel, Recorder, Sim, SimDuration, SimRng,
+};
+
+/// Identifier of a host on the fabric.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct HostId(pub u64);
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host{}", self.0)
+    }
+}
+
+/// A rack number; hosts in the same rack see intra-rack latency.
+pub type RackId = u32;
+
+/// NIC sizing for a host.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct NicConfig {
+    /// Total NIC capacity shared by all flows on the host, bits/second.
+    pub capacity: Bps,
+    /// Optional per-flow ceiling (the Lambda measurement of 538 Mbps for a
+    /// single function is such a ceiling).
+    pub per_flow_cap: Option<Bps>,
+}
+
+impl NicConfig {
+    /// A NIC with the given capacity and no per-flow ceiling.
+    pub fn simple(capacity: Bps) -> NicConfig {
+        NicConfig {
+            capacity,
+            per_flow_cap: None,
+        }
+    }
+}
+
+/// Latency tiers of the fabric.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetProfile {
+    /// One-way latency between two endpoints on the same host.
+    pub loopback_one_way: LatencyModel,
+    /// One-way latency within a rack.
+    pub intra_rack_one_way: LatencyModel,
+    /// One-way latency across racks.
+    pub inter_rack_one_way: LatencyModel,
+}
+
+impl NetProfile {
+    /// Calibrated to the paper's Table 1 (ZeroMQ 1KB RTT of 290 µs between
+    /// two EC2 instances ⇒ 145 µs one-way including stack overheads) and to
+    /// the Pingmesh inter-rack average of 1.26 ms RTT cited in §3.1.
+    pub fn aws_2018() -> NetProfile {
+        NetProfile {
+            loopback_one_way: LatencyModel::LogNormal {
+                mean: SimDuration::from_micros(15),
+                cv: 0.10,
+                floor: SimDuration::from_micros(5),
+            },
+            intra_rack_one_way: LatencyModel::LogNormal {
+                mean: SimDuration::from_micros(145),
+                cv: 0.10,
+                floor: SimDuration::from_micros(50),
+            },
+            inter_rack_one_way: LatencyModel::LogNormal {
+                mean: SimDuration::from_micros(630),
+                cv: 0.15,
+                floor: SimDuration::from_micros(200),
+            },
+        }
+    }
+
+    /// Collapse every tier to its mean, for exact-reproduction runs.
+    pub fn exact(&self) -> NetProfile {
+        NetProfile {
+            loopback_one_way: self.loopback_one_way.to_constant(),
+            intra_rack_one_way: self.intra_rack_one_way.to_constant(),
+            inter_rack_one_way: self.inter_rack_one_way.to_constant(),
+        }
+    }
+}
+
+pub(crate) struct HostState {
+    rack: RackId,
+    nic: FairShareLink,
+    per_flow_cap: Option<Bps>,
+    alive: std::cell::Cell<bool>,
+}
+
+impl HostState {
+    pub(crate) fn is_alive(&self) -> bool {
+        self.alive.get()
+    }
+
+    pub(crate) fn nic(&self) -> &FairShareLink {
+        &self.nic
+    }
+
+    pub(crate) fn flow_cap(&self) -> Option<Bps> {
+        self.per_flow_cap
+    }
+}
+
+pub(crate) struct FabricInner {
+    pub(crate) sim: Sim,
+    profile: NetProfile,
+    hosts: RefCell<HashMap<HostId, Rc<HostState>>>,
+    next_host: RefCell<u64>,
+    rng: RefCell<SimRng>,
+    pub(crate) recorder: Recorder,
+    pub(crate) sockets: RefCell<HashMap<super::socket::Addr, super::socket::SocketHandle>>,
+    /// Active network partition: host sets that cannot reach each other.
+    partition: RefCell<Option<(std::collections::HashSet<HostId>, std::collections::HashSet<HostId>)>>,
+}
+
+/// The datacenter network. Cheap to clone.
+#[derive(Clone)]
+pub struct Fabric {
+    pub(crate) inner: Rc<FabricInner>,
+}
+
+impl Fabric {
+    /// Build a fabric on `sim` with the given latency profile.
+    pub fn new(sim: &Sim, profile: NetProfile, recorder: Recorder) -> Fabric {
+        Fabric {
+            inner: Rc::new(FabricInner {
+                sim: sim.clone(),
+                profile,
+                hosts: RefCell::new(HashMap::new()),
+                next_host: RefCell::new(0),
+                rng: RefCell::new(sim.rng("net.fabric")),
+                recorder,
+                sockets: RefCell::new(HashMap::new()),
+                partition: RefCell::new(None),
+            }),
+        }
+    }
+
+    /// The simulation this fabric runs on.
+    pub fn sim(&self) -> &Sim {
+        &self.inner.sim
+    }
+
+    /// Metrics recorder shared with the rest of the cloud.
+    pub fn recorder(&self) -> &Recorder {
+        &self.inner.recorder
+    }
+
+    /// Attach a new host in `rack` with the given NIC.
+    pub fn add_host(&self, rack: RackId, nic: NicConfig) -> Host {
+        let id = {
+            let mut next = self.inner.next_host.borrow_mut();
+            let id = HostId(*next);
+            *next += 1;
+            id
+        };
+        let state = Rc::new(HostState {
+            rack,
+            nic: FairShareLink::new(&self.inner.sim, nic.capacity),
+            per_flow_cap: nic.per_flow_cap,
+            alive: std::cell::Cell::new(true),
+        });
+        self.inner.hosts.borrow_mut().insert(id, state.clone());
+        Host {
+            id,
+            state,
+            fabric: self.clone(),
+        }
+    }
+
+    /// Number of attached hosts.
+    pub fn host_count(&self) -> usize {
+        self.inner.hosts.borrow().len()
+    }
+
+    /// Sample the one-way latency from `a` to `b`.
+    pub fn one_way_latency(&self, a: &Host, b_id: HostId) -> SimDuration {
+        let model = {
+            let hosts = self.inner.hosts.borrow();
+            let b = hosts.get(&b_id);
+            match b {
+                Some(_) if a.id == b_id => &self.inner.profile.loopback_one_way,
+                Some(b) if a.state.rack == b.rack => &self.inner.profile.intra_rack_one_way,
+                Some(_) => &self.inner.profile.inter_rack_one_way,
+                None => &self.inner.profile.inter_rack_one_way,
+            }
+            .clone()
+        };
+        model.sample(&mut self.inner.rng.borrow_mut())
+    }
+
+    /// Partition the network: messages between `side_a` and `side_b` are
+    /// dropped in both directions until [`Fabric::heal_partition`]. Hosts
+    /// in neither set communicate freely with everyone (they model the
+    /// unaffected part of the datacenter). Storage services are not
+    /// partitioned — the paper's world keeps S3/DynamoDB reachable while
+    /// compute nodes lose each other.
+    pub fn partition(&self, side_a: &[HostId], side_b: &[HostId]) {
+        *self.inner.partition.borrow_mut() = Some((
+            side_a.iter().copied().collect(),
+            side_b.iter().copied().collect(),
+        ));
+    }
+
+    /// Remove the active partition.
+    pub fn heal_partition(&self) {
+        *self.inner.partition.borrow_mut() = None;
+    }
+
+    /// Whether a message from `a` to `b` is currently blocked.
+    pub fn is_blocked(&self, a: HostId, b: HostId) -> bool {
+        match &*self.inner.partition.borrow() {
+            None => false,
+            Some((left, right)) => {
+                (left.contains(&a) && right.contains(&b))
+                    || (right.contains(&a) && left.contains(&b))
+            }
+        }
+    }
+
+    /// Fail a host: in-flight and future messages toward it are dropped.
+    /// Used for failure injection (e.g. killing the election leader).
+    pub fn kill_host(&self, id: HostId) {
+        if let Some(h) = self.inner.hosts.borrow().get(&id) {
+            h.alive.set(false);
+        }
+    }
+
+    /// Whether the host is alive (not [`Fabric::kill_host`]ed).
+    pub fn is_host_alive(&self, id: HostId) -> bool {
+        self.inner
+            .hosts
+            .borrow()
+            .get(&id)
+            .map(|h| h.is_alive())
+            .unwrap_or(false)
+    }
+
+    pub(crate) fn host_state(&self, id: HostId) -> Option<Rc<HostState>> {
+        self.inner.hosts.borrow().get(&id).cloned()
+    }
+}
+
+/// A host attached to the fabric: the unit that owns a NIC. VMs and FaaS
+/// container hosts are all `Host`s.
+#[derive(Clone)]
+pub struct Host {
+    id: HostId,
+    state: Rc<HostState>,
+    fabric: Fabric,
+}
+
+impl fmt::Debug for Host {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Host")
+            .field("id", &self.id)
+            .field("rack", &self.state.rack)
+            .finish()
+    }
+}
+
+impl Host {
+    /// This host's id.
+    pub fn id(&self) -> HostId {
+        self.id
+    }
+
+    /// The rack this host lives in.
+    pub fn rack(&self) -> RackId {
+        self.state.rack
+    }
+
+    /// The fabric this host is attached to.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// The host's NIC link (shared by every flow to/from this host).
+    pub fn nic(&self) -> &FairShareLink {
+        &self.state.nic
+    }
+
+    /// The per-flow ceiling configured for this host, if any.
+    pub fn per_flow_cap(&self) -> Option<Bps> {
+        self.state.per_flow_cap
+    }
+
+    /// Move `bytes` through this host's NIC, respecting the per-flow cap
+    /// and fair sharing with every other active flow on the host.
+    pub async fn nic_transfer(&self, bytes: u64) {
+        self.state
+            .nic
+            .transfer(bytes, self.state.per_flow_cap)
+            .await;
+    }
+
+    /// Move `bytes` through the NIC with an additional ceiling (e.g. a
+    /// storage service's per-connection limit). The effective cap is the
+    /// minimum of the host cap and `extra_cap`.
+    pub async fn nic_transfer_capped(&self, bytes: u64, extra_cap: Bps) {
+        let cap = match self.state.per_flow_cap {
+            Some(host_cap) => host_cap.min(extra_cap),
+            None => extra_cap,
+        };
+        self.state.nic.transfer(bytes, Some(cap)).await;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faasim_simcore::mbps;
+
+    fn test_fabric(seed: u64) -> (Sim, Fabric) {
+        let sim = Sim::new(seed);
+        let fabric = Fabric::new(&sim, NetProfile::aws_2018().exact(), Recorder::new());
+        (sim, fabric)
+    }
+
+    #[test]
+    fn hosts_get_distinct_ids() {
+        let (_sim, fabric) = test_fabric(1);
+        let a = fabric.add_host(0, NicConfig::simple(mbps(1000.0)));
+        let b = fabric.add_host(0, NicConfig::simple(mbps(1000.0)));
+        assert_ne!(a.id(), b.id());
+        assert_eq!(fabric.host_count(), 2);
+    }
+
+    #[test]
+    fn latency_tiers_ordered() {
+        let (_sim, fabric) = test_fabric(2);
+        let a = fabric.add_host(0, NicConfig::simple(mbps(1000.0)));
+        let b = fabric.add_host(0, NicConfig::simple(mbps(1000.0)));
+        let c = fabric.add_host(1, NicConfig::simple(mbps(1000.0)));
+        let loopback = fabric.one_way_latency(&a, a.id());
+        let intra = fabric.one_way_latency(&a, b.id());
+        let inter = fabric.one_way_latency(&a, c.id());
+        assert!(loopback < intra, "{loopback} !< {intra}");
+        assert!(intra < inter, "{intra} !< {inter}");
+        // Exact profile: calibrated one-way means.
+        assert_eq!(intra, SimDuration::from_micros(145));
+        assert_eq!(inter, SimDuration::from_micros(630));
+    }
+
+    #[test]
+    fn nic_transfer_respects_capacity() {
+        let (sim, fabric) = test_fabric(3);
+        let host = fabric.add_host(0, NicConfig::simple(mbps(8.0))); // 1 MB/s
+        sim.block_on(async move {
+            host.nic_transfer(1_000_000).await;
+        });
+        assert!((sim.now().as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_flow_cap_and_extra_cap_compose() {
+        let (sim, fabric) = test_fabric(4);
+        let host = fabric.add_host(
+            0,
+            NicConfig {
+                capacity: mbps(1000.0),
+                per_flow_cap: Some(mbps(16.0)),
+            },
+        );
+        let h2 = host.clone();
+        sim.block_on(async move {
+            // extra cap 8 Mbps is tighter than the host's 16 Mbps.
+            h2.nic_transfer_capped(1_000_000, mbps(8.0)).await;
+            // host cap 16 Mbps is tighter than extra 1000 Mbps.
+            h2.nic_transfer_capped(1_000_000, mbps(1000.0)).await;
+        });
+        let t = sim.now().as_secs_f64();
+        assert!((t - 1.5).abs() < 1e-6, "took {t}");
+    }
+
+    #[test]
+    fn packed_host_shares_nic() {
+        // The §3 bandwidth collapse: 20 co-located flows on one 574 Mbps
+        // NIC get ~28.7 Mbps each.
+        let (sim, fabric) = test_fabric(5);
+        let host = fabric.add_host(
+            0,
+            NicConfig {
+                capacity: mbps(574.0),
+                per_flow_cap: Some(mbps(538.0)),
+            },
+        );
+        for _ in 0..20 {
+            let h = host.clone();
+            sim.spawn(async move {
+                h.nic_transfer(3_587_500).await; // 28.7 Mbit
+            });
+        }
+        sim.run();
+        assert!((sim.now().as_secs_f64() - 1.0).abs() < 1e-3, "{}", sim.now());
+    }
+}

@@ -1,0 +1,19 @@
+//! # faasim-net
+//!
+//! The simulated datacenter network: a [`Fabric`] of racks and [`Host`]s,
+//! each with a fair-shared NIC, plus directly addressable [`Socket`]s with
+//! UDP-like datagram and request/reply semantics.
+//!
+//! Latency tiers are calibrated to the paper's Table 1 (290 µs 1KB ZeroMQ
+//! RTT within a rack) and the Pingmesh inter-rack average (1.26 ms RTT) it
+//! cites. NIC sharing reproduces the §3 per-function bandwidth collapse
+//! under container packing.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod fabric;
+mod socket;
+
+pub use fabric::{Fabric, Host, HostId, NetProfile, NicConfig, RackId};
+pub use socket::{Addr, Kind, Message, NetError, RecvFut, Socket, WIRE_OVERHEAD_BYTES};

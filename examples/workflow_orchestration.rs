@@ -1,0 +1,98 @@
+//! §2's function-composition pattern with a *managed* orchestrator
+//! (Step-Functions style), instead of the hand-stitched queues of the
+//! `account_signup` example: sequences, retries, and a parallel fan-out —
+//! and still, every hop pays Table 1's invocation overhead, which is the
+//! paper's point about composition on FaaS.
+//!
+//! ```text
+//! cargo run --release --example workflow_orchestration
+//! ```
+
+use bytes::Bytes;
+use faasim::faas::{decode_batch, FnError, FunctionSpec, Orchestrator, Workflow};
+use faasim::simcore::SimDuration;
+use faasim::{Cloud, CloudProfile};
+use std::cell::Cell;
+use std::rc::Rc;
+
+fn main() {
+    let cloud = Cloud::new(CloudProfile::aws_2018().exact(), 17);
+
+    // An order pipeline: validate -> (charge ∥ reserve-inventory) -> ship.
+    let stamp = |name: &'static str| {
+        FunctionSpec::new(name, 256, SimDuration::from_secs(30), move |_ctx, p| async move {
+            let mut v = p.to_vec();
+            v.extend_from_slice(format!("|{name}").as_bytes());
+            Ok(Bytes::from(v))
+        })
+    };
+    cloud.faas.register(stamp("validate"));
+    cloud.faas.register(stamp("reserve-inventory"));
+    cloud.faas.register(FunctionSpec::new(
+        "ship",
+        256,
+        SimDuration::from_secs(30),
+        |_ctx, p| async move {
+            let parts = decode_batch(&p).expect("joined branches");
+            let mut v = Vec::new();
+            for part in parts {
+                v.extend_from_slice(&part);
+                v.push(b'&');
+            }
+            v.extend_from_slice(b"|shipped");
+            Ok(Bytes::from(v))
+        },
+    ));
+    // The payment service is flaky: it fails twice before succeeding.
+    let attempts = Rc::new(Cell::new(0u32));
+    let a = attempts.clone();
+    cloud.faas.register(FunctionSpec::new(
+        "charge",
+        256,
+        SimDuration::from_secs(30),
+        move |_ctx, p| {
+            let a = a.clone();
+            async move {
+                a.set(a.get() + 1);
+                if a.get() < 3 {
+                    Err(FnError::Handler("payment gateway 503".into()))
+                } else {
+                    let mut v = p.to_vec();
+                    v.extend_from_slice(b"|charged");
+                    Ok(Bytes::from(v))
+                }
+            }
+        },
+    ));
+
+    let workflow = Workflow::new()
+        .then("validate")
+        .parallel(vec![
+            Workflow::new().then_with_retries("charge", 5),
+            Workflow::new().then("reserve-inventory"),
+        ])
+        .then("ship");
+
+    let orchestrator = Orchestrator::new(&cloud.faas);
+    let out = cloud.sim.block_on({
+        let orchestrator = orchestrator.clone();
+        let workflow = workflow.clone();
+        async move { orchestrator.run(&workflow, Bytes::from_static(b"order-1041")).await }
+    });
+
+    println!(
+        "result        : {}",
+        String::from_utf8_lossy(out.result.as_ref().expect("workflow succeeded"))
+    );
+    println!("invocations   : {} (incl. {} payment retries)", out.invocations, attempts.get() - 1);
+    println!("end-to-end    : {:.2}s", out.total.as_secs_f64());
+    println!("\nthe bill:\n{}", cloud.ledger.report());
+    println!(
+        "four logical steps became {} invocations and ~{:.1}s: composition on\n\
+         FaaS multiplies Table 1's ~300 ms invocation path per hop (plus cold\n\
+         starts), exactly the overhead the paper's Autodesk anecdote hides\n\
+         inside its 'ten minutes'.",
+        out.invocations,
+        out.total.as_secs_f64(),
+    );
+}

@@ -1,0 +1,91 @@
+//! Integration tests: the whole stack is deterministic — the same seed
+//! reproduces every experiment bit-for-bit, and different seeds actually
+//! differ when distributions have spread.
+
+use bytes::Bytes;
+use faasim::experiments::{prediction, table1, training};
+use faasim::faas::FunctionSpec;
+use faasim::simcore::SimDuration;
+use faasim::{Cloud, CloudProfile};
+
+#[test]
+fn table1_is_bit_reproducible() {
+    let a = table1::run(&table1::Table1Params::quick(), 5);
+    let b = table1::run(&table1::Table1Params::quick(), 5);
+    for (ra, rb) in a.rows.iter().zip(b.rows.iter()) {
+        assert_eq!(ra.mean, rb.mean);
+        assert_eq!(ra.samples, rb.samples);
+    }
+}
+
+#[test]
+fn jittered_runs_differ_across_seeds_but_not_within() {
+    let params = table1::Table1Params {
+        exact: false,
+        invocations: 30,
+        io_trials: 30,
+        rtt_trials: 30,
+        ..table1::Table1Params::quick()
+    };
+    let a = table1::run(&params, 5);
+    let b = table1::run(&params, 5);
+    let c = table1::run(&params, 6);
+    assert_eq!(
+        a.mean_of("Func. Invoc. (1KB)"),
+        b.mean_of("Func. Invoc. (1KB)")
+    );
+    assert_ne!(
+        a.mean_of("Func. Invoc. (1KB)"),
+        c.mean_of("Func. Invoc. (1KB)")
+    );
+}
+
+#[test]
+fn training_and_prediction_reproducible() {
+    let t1 = training::run(&training::TrainingParams::quick(), 9);
+    let t2 = training::run(&training::TrainingParams::quick(), 9);
+    assert_eq!(t1.lambda.total_time, t2.lambda.total_time);
+    assert_eq!(t1.lambda.compute_cost, t2.lambda.compute_cost);
+    assert_eq!(t1.ec2.total_time, t2.ec2.total_time);
+
+    let p1 = prediction::run(&prediction::PredictionParams::quick(), 9);
+    let p2 = prediction::run(&prediction::PredictionParams::quick(), 9);
+    for (a, b) in p1.deployments.iter().zip(p2.deployments.iter()) {
+        assert_eq!(a.mean_batch_latency, b.mean_batch_latency, "{}", a.label);
+    }
+}
+
+#[test]
+fn whole_cloud_metric_digest_is_reproducible() {
+    fn run(seed: u64) -> (String, String) {
+        let cloud = Cloud::new(CloudProfile::aws_2018(), seed);
+        cloud.blob.create_bucket("b");
+        let blob = cloud.blob.clone();
+        cloud.faas.register(FunctionSpec::new(
+            "touch",
+            256,
+            SimDuration::from_secs(30),
+            move |ctx, payload| {
+                let blob = blob.clone();
+                async move {
+                    blob.put(ctx.host(), "b", "k", payload.clone()).await.unwrap();
+                    blob.get(ctx.host(), "b", "k").await.unwrap();
+                    Ok(payload)
+                }
+            },
+        ));
+        let faas = cloud.faas.clone();
+        cloud.sim.block_on(async move {
+            for i in 0..20u8 {
+                faas.invoke("touch", Bytes::from(vec![i])).await;
+            }
+        });
+        (cloud.recorder.digest(), cloud.ledger.report())
+    }
+    let (m1, l1) = run(77);
+    let (m2, l2) = run(77);
+    let (m3, _) = run(78);
+    assert_eq!(m1, m2);
+    assert_eq!(l1, l2);
+    assert_ne!(m1, m3, "different seeds must perturb jittered latencies");
+}
