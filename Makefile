@@ -1,0 +1,30 @@
+# Convenience targets. Everything is plain cargo underneath; the build is
+# fully offline (external deps are vendored under shims/).
+
+CARGO ?= cargo
+export CARGO_NET_OFFLINE = true
+
+.PHONY: build test test-all chaos-sweep clean
+
+## Release build of the whole workspace.
+build:
+	$(CARGO) build --release
+
+## Tier-1: the root crate's tests (unit + integration + doc).
+test:
+	$(CARGO) build --release
+	$(CARGO) test -q
+
+## Every crate in the workspace, including the chaos and shim crates.
+test-all:
+	$(CARGO) test --workspace -q
+
+## Tier-1 verify, then the 16-seed deterministic fault-injection sweep
+## over the CRDT-sync and queue-pipeline scenarios. Fails (nonzero exit)
+## on any invariant violation or replay divergence and prints the
+## minimal failing seed.
+chaos-sweep: test
+	$(CARGO) run --release --example chaos_sweep
+
+clean:
+	$(CARGO) clean

@@ -33,6 +33,17 @@ pub enum BlobError {
     NoSuchBucket(String),
     /// The key does not exist (or is not yet visible to this reader).
     NoSuchKey(String),
+    /// The service is momentarily unavailable (S3 503 SlowDown; transient,
+    /// retryable). Only produced when chaos injection is enabled via
+    /// [`BlobStore::set_faults`].
+    Unavailable,
+}
+
+impl BlobError {
+    /// Whether a retry of the same request may succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, BlobError::Unavailable)
+    }
 }
 
 impl fmt::Display for BlobError {
@@ -40,6 +51,7 @@ impl fmt::Display for BlobError {
         match self {
             BlobError::NoSuchBucket(b) => write!(f, "no such bucket: {b}"),
             BlobError::NoSuchKey(k) => write!(f, "no such key: {k}"),
+            BlobError::Unavailable => write!(f, "service unavailable (503 SlowDown)"),
         }
     }
 }
@@ -118,9 +130,20 @@ struct Bucket {
     subscribers: Vec<Sender<BlobEvent>>,
 }
 
+/// Deterministic fault knobs for the object store. Zero by default; no
+/// RNG draws are consumed while every probability is zero, so enabling
+/// chaos never perturbs a fault-free run at the same seed.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BlobFaults {
+    /// Probability that a request fails with [`BlobError::Unavailable`]
+    /// after paying its request latency (but before moving any data).
+    pub unavailable_prob: f64,
+}
+
 struct StoreState {
     buckets: BTreeMap<String, Bucket>,
     rng: SimRng,
+    faults: BlobFaults,
 }
 
 /// The object store service handle. Cheap to clone.
@@ -152,6 +175,7 @@ impl BlobStore {
             state: Rc::new(RefCell::new(StoreState {
                 buckets: BTreeMap::new(),
                 rng: sim.rng("blob.store"),
+                faults: BlobFaults::default(),
             })),
         }
     }
@@ -179,9 +203,33 @@ impl BlobStore {
         rx
     }
 
+    /// Install chaos knobs; pass `BlobFaults::default()` to disable.
+    pub fn set_faults(&self, faults: BlobFaults) {
+        self.state.borrow_mut().faults = faults;
+    }
+
     fn sample_latency(&self) -> SimDuration {
         let mut st = self.state.borrow_mut();
         self.profile.op_latency.sample(&mut st.rng)
+    }
+
+    /// Chaos gate at the head of every operation: an unavailable request
+    /// pays its request latency before the 503 reaches the caller, and is
+    /// not billed (S3 does not charge for 5xx responses).
+    async fn chaos_gate(&self, op: &str) -> Result<(), BlobError> {
+        let unavailable = {
+            let mut st = self.state.borrow_mut();
+            let p = st.faults.unavailable_prob;
+            p > 0.0 && st.rng.chance(p)
+        };
+        if unavailable {
+            let latency = self.sample_latency();
+            self.sim.sleep(latency).await;
+            self.recorder.incr("blob.unavailable");
+            self.recorder.record_duration(op, latency);
+            return Err(BlobError::Unavailable);
+        }
+        Ok(())
     }
 
     fn sample_visibility(&self, now: SimTime) -> SimTime {
@@ -205,6 +253,7 @@ impl BlobStore {
         key: &str,
         data: Bytes,
     ) -> Result<(), BlobError> {
+        self.chaos_gate("blob.put.latency").await?;
         let t0 = self.sim.now();
         let latency = self.sample_latency();
         self.sim.sleep(latency).await;
@@ -259,6 +308,7 @@ impl BlobStore {
     /// Fetch an object. Completes after the full body has streamed through
     /// the caller's NIC at the per-connection cap.
     pub async fn get(&self, caller: &Host, bucket: &str, key: &str) -> Result<Bytes, BlobError> {
+        self.chaos_gate("blob.get.latency").await?;
         let t0 = self.sim.now();
         let latency = self.sample_latency();
         self.sim.sleep(latency).await;
@@ -304,6 +354,7 @@ impl BlobStore {
     /// Delete an object (idempotent; deleting a missing key is not an
     /// error, matching S3).
     pub async fn delete(&self, _caller: &Host, bucket: &str, key: &str) -> Result<(), BlobError> {
+        self.chaos_gate("blob.delete.latency").await?;
         let latency = self.sample_latency();
         self.sim.sleep(latency).await;
         let now = self.sim.now();
@@ -347,6 +398,7 @@ impl BlobStore {
         bucket: &str,
         prefix: &str,
     ) -> Result<Vec<String>, BlobError> {
+        self.chaos_gate("blob.list.latency").await?;
         let latency = self.sample_latency();
         self.sim.sleep(latency).await;
         let now = self.sim.now();

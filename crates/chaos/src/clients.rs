@@ -1,0 +1,224 @@
+//! Resilient service clients: the raw stores wrapped in a
+//! [`RetryPolicy`], so experiments can opt into the retry discipline
+//! that real serverless applications are forced to adopt.
+//!
+//! Only *transient* errors (KV throttling, blob 503s, per-call
+//! timeouts) are retried; logic errors such as a missing table or a
+//! failed conditional write surface immediately as
+//! [`RetryError::Fatal`].
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use faasim_kv::{Consistency, Item, KvError, KvStore};
+use faasim_blob::{BlobError, BlobStore};
+use faasim_net::Host;
+use faasim_simcore::{Recorder, Sim, SimRng};
+
+use crate::retry::{RetryError, RetryPolicy};
+
+/// A [`KvStore`] client that retries transient failures with the given
+/// policy. Cheap to clone; clones share the jitter RNG stream.
+#[derive(Clone)]
+pub struct RetryingKv {
+    kv: KvStore,
+    sim: Sim,
+    policy: RetryPolicy,
+    rng: Rc<RefCell<SimRng>>,
+    recorder: Recorder,
+}
+
+impl RetryingKv {
+    /// Wrap `kv`. `label` names the jitter RNG stream, so two clients
+    /// with different labels draw independent jitter.
+    pub fn new(sim: &Sim, kv: &KvStore, recorder: Recorder, policy: RetryPolicy, label: &str) -> RetryingKv {
+        RetryingKv {
+            kv: kv.clone(),
+            sim: sim.clone(),
+            policy,
+            rng: Rc::new(RefCell::new(sim.rng(label))),
+            recorder,
+        }
+    }
+
+    /// Retrying unconditional write. Returns the new version.
+    pub async fn put(
+        &self,
+        caller: &Host,
+        table: &str,
+        key: &str,
+        value: Bytes,
+    ) -> Result<u64, RetryError<KvError>> {
+        let rec = self.recorder.clone();
+        self.policy
+            .run(&self.sim, &self.rng, KvError::is_transient, || {
+                rec.incr("chaos.kv.attempts");
+                self.kv.put(caller, table, key, value.clone())
+            })
+            .await
+    }
+
+    /// Retrying read.
+    pub async fn get(
+        &self,
+        caller: &Host,
+        table: &str,
+        key: &str,
+        consistency: Consistency,
+    ) -> Result<Item, RetryError<KvError>> {
+        let rec = self.recorder.clone();
+        self.policy
+            .run(&self.sim, &self.rng, KvError::is_transient, || {
+                rec.incr("chaos.kv.attempts");
+                self.kv.get(caller, table, key, consistency)
+            })
+            .await
+    }
+
+    /// Retrying delete (idempotent, so retries are safe).
+    pub async fn delete(
+        &self,
+        caller: &Host,
+        table: &str,
+        key: &str,
+    ) -> Result<(), RetryError<KvError>> {
+        let rec = self.recorder.clone();
+        self.policy
+            .run(&self.sim, &self.rng, KvError::is_transient, || {
+                rec.incr("chaos.kv.attempts");
+                self.kv.delete(caller, table, key)
+            })
+            .await
+    }
+
+    /// The wrapped store, for operations that should not retry.
+    pub fn inner(&self) -> &KvStore {
+        &self.kv
+    }
+}
+
+/// A [`BlobStore`] client that retries transient failures.
+#[derive(Clone)]
+pub struct RetryingBlob {
+    blob: BlobStore,
+    sim: Sim,
+    policy: RetryPolicy,
+    rng: Rc<RefCell<SimRng>>,
+    recorder: Recorder,
+}
+
+impl RetryingBlob {
+    /// Wrap `blob`; `label` names the jitter RNG stream.
+    pub fn new(
+        sim: &Sim,
+        blob: &BlobStore,
+        recorder: Recorder,
+        policy: RetryPolicy,
+        label: &str,
+    ) -> RetryingBlob {
+        RetryingBlob {
+            blob: blob.clone(),
+            sim: sim.clone(),
+            policy,
+            rng: Rc::new(RefCell::new(sim.rng(label))),
+            recorder,
+        }
+    }
+
+    /// Retrying object write (PUT is idempotent, so retries are safe).
+    pub async fn put(
+        &self,
+        caller: &Host,
+        bucket: &str,
+        key: &str,
+        data: Bytes,
+    ) -> Result<(), RetryError<BlobError>> {
+        let rec = self.recorder.clone();
+        self.policy
+            .run(&self.sim, &self.rng, BlobError::is_transient, || {
+                rec.incr("chaos.blob.attempts");
+                self.blob.put(caller, bucket, key, data.clone())
+            })
+            .await
+    }
+
+    /// Retrying object read.
+    pub async fn get(
+        &self,
+        caller: &Host,
+        bucket: &str,
+        key: &str,
+    ) -> Result<Bytes, RetryError<BlobError>> {
+        let rec = self.recorder.clone();
+        self.policy
+            .run(&self.sim, &self.rng, BlobError::is_transient, || {
+                rec.incr("chaos.blob.attempts");
+                self.blob.get(caller, bucket, key)
+            })
+            .await
+    }
+
+    /// The wrapped store, for operations that should not retry.
+    pub fn inner(&self) -> &BlobStore {
+        &self.blob
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faasim::{Cloud, CloudProfile};
+    use faasim_kv::KvFaults;
+
+    #[test]
+    fn retrying_kv_survives_heavy_throttling() {
+        let cloud = Cloud::new(CloudProfile::aws_2018().exact(), 11);
+        cloud.kv.set_faults(KvFaults { throttle_prob: 0.5 });
+        cloud.kv.create_table("t");
+        let client = RetryingKv::new(
+            &cloud.sim,
+            &cloud.kv,
+            cloud.recorder.clone(),
+            RetryPolicy {
+                max_attempts: 10,
+                ..RetryPolicy::default()
+            },
+            "chaos.test",
+        );
+        let host = cloud.client_host();
+        let ok = cloud.sim.block_on(async move {
+            for i in 0..50u8 {
+                client
+                    .put(&host, "t", &format!("k{i}"), Bytes::from(vec![i]))
+                    .await?;
+                client.get(&host, "t", &format!("k{i}"), Consistency::Strong).await?;
+            }
+            Ok::<(), RetryError<KvError>>(())
+        });
+        ok.expect("retries should absorb 50% throttling");
+        assert!(cloud.recorder.counter("kv.throttled") > 0, "faults fired");
+        assert!(
+            cloud.recorder.counter("chaos.kv.attempts") > 100,
+            "extra attempts were made"
+        );
+    }
+
+    #[test]
+    fn fatal_errors_are_not_retried() {
+        let cloud = Cloud::new(CloudProfile::aws_2018().exact(), 11);
+        let client = RetryingKv::new(
+            &cloud.sim,
+            &cloud.kv,
+            cloud.recorder.clone(),
+            RetryPolicy::default(),
+            "chaos.test",
+        );
+        let host = cloud.client_host();
+        let got = cloud.sim.block_on(async move {
+            client.get(&host, "missing", "k", Consistency::Strong).await
+        });
+        assert!(matches!(got, Err(RetryError::Fatal(KvError::NoSuchTable(_)))));
+        assert_eq!(cloud.recorder.counter("chaos.kv.attempts"), 1);
+    }
+}

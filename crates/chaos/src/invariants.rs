@@ -1,0 +1,112 @@
+//! Cross-cutting invariants a chaotic run must still satisfy.
+//!
+//! Fault injection is only useful if something checks that the system
+//! *under* fault keeps its promises. These checks are deliberately
+//! global — they read the shared [`Recorder`] and [`Ledger`] rather
+//! than scenario state, so every scenario gets them for free.
+
+use faasim::Cloud;
+use faasim_pricing::Ledger;
+use faasim_simcore::Recorder;
+
+/// Message conservation: every message the fabric accepted must be
+/// accounted for as delivered, dropped (dead host / no socket),
+/// partitioned, or chaos-lost. Chaos may *reclassify* messages, but it
+/// must never make one vanish without a counter.
+pub fn message_conservation(recorder: &Recorder) -> Option<String> {
+    let sent = recorder.counter("net.messages_sent");
+    let delivered = recorder.counter("net.messages_delivered");
+    let dropped = recorder.counter("net.messages_dropped");
+    let partitioned = recorder.counter("net.messages_partitioned");
+    let lost = recorder.counter("net.messages_lost");
+    let accounted = delivered + dropped + partitioned + lost;
+    if sent != accounted {
+        return Some(format!(
+            "message conservation violated: sent={sent} != \
+             delivered={delivered} + dropped={dropped} + \
+             partitioned={partitioned} + lost={lost} (= {accounted})"
+        ));
+    }
+    None
+}
+
+/// Billing-ledger consistency: every line item finite and non-negative,
+/// per-service subtotals summing to the grand total. Chaos must never
+/// corrupt the bill — throttled and crashed requests are either billed
+/// like AWS bills them or not billed at all, but never billed NaN.
+pub fn ledger_consistent(ledger: &Ledger) -> Option<String> {
+    let items = ledger.breakdown();
+    let mut sum = 0.0;
+    for (service, item, quantity, dollars) in &items {
+        if !quantity.is_finite() || *quantity < 0.0 {
+            return Some(format!("bad quantity {quantity} for {service}/{item}"));
+        }
+        if !dollars.is_finite() || *dollars < 0.0 {
+            return Some(format!("bad charge ${dollars} for {service}/{item}"));
+        }
+        sum += dollars;
+    }
+    let total = ledger.total();
+    let tolerance = 1e-9 * (1.0 + total.abs());
+    if (total - sum).abs() > tolerance {
+        return Some(format!(
+            "ledger total ${total} != sum of line items ${sum}"
+        ));
+    }
+    None
+}
+
+/// Run every global invariant against a cloud; returns the list of
+/// violations (empty means healthy).
+pub fn check_cloud(cloud: &Cloud) -> Vec<String> {
+    let mut violations = Vec::new();
+    if let Some(v) = message_conservation(&cloud.recorder) {
+        violations.push(v);
+    }
+    if let Some(v) = ledger_consistent(&cloud.ledger) {
+        violations.push(v);
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_recorder_and_ledger_pass() {
+        let r = Recorder::new();
+        let l = Ledger::new();
+        assert_eq!(message_conservation(&r), None);
+        assert_eq!(ledger_consistent(&l), None);
+    }
+
+    #[test]
+    fn unaccounted_messages_are_flagged() {
+        let r = Recorder::new();
+        r.add("net.messages_sent", 10);
+        r.add("net.messages_delivered", 9);
+        let v = message_conservation(&r).expect("one message vanished");
+        assert!(v.contains("sent=10"), "{v}");
+    }
+
+    #[test]
+    fn balanced_counters_pass() {
+        let r = Recorder::new();
+        r.add("net.messages_sent", 10);
+        r.add("net.messages_delivered", 7);
+        r.add("net.messages_dropped", 1);
+        r.add("net.messages_partitioned", 1);
+        r.add("net.messages_lost", 1);
+        assert_eq!(message_conservation(&r), None);
+    }
+
+    #[test]
+    fn consistent_ledger_passes() {
+        use faasim_pricing::Service;
+        let l = Ledger::new();
+        l.charge(Service::Kv, "write-requests", 3.0, 0.000004);
+        l.charge(Service::Blob, "put-requests", 1.0, 0.000005);
+        assert_eq!(ledger_consistent(&l), None);
+    }
+}

@@ -1,0 +1,45 @@
+//! # faasim-chaos
+//!
+//! Deterministic fault injection and a seed-sweep chaos harness for the
+//! simulated cloud.
+//!
+//! The paper's §3 argues that today's FaaS platforms force applications
+//! into "data-shipping" compositions glued together by storage, queues,
+//! and triggers — exactly the compositions that fail in interesting ways
+//! when the platform misbehaves. This crate makes the misbehaviour a
+//! first-class, *reproducible* experiment input:
+//!
+//! - [`FaultPlan`] configures every service tier's fault hooks in one
+//!   place — network delay spikes and packet loss, KV throttling, blob
+//!   503s, queue duplicate/delayed delivery, mid-flight function kills —
+//!   plus scheduled partition windows and cold-start storms.
+//! - [`RetryPolicy`] is the resilience counterpart: exponential backoff
+//!   with bounded jitter and optional per-call timeouts, wired into
+//!   [`RetryingKv`] / [`RetryingBlob`] client wrappers that retry
+//!   transient errors.
+//! - [`sweep`] runs a [`Scenario`] across many seeds, replays every seed
+//!   twice to prove the run is deterministic (byte-identical recorder
+//!   digest and bill), checks invariants, and reports the minimal
+//!   failing seed so a failure is a one-liner to reproduce.
+//!
+//! Every random draw comes from the simulation's named RNG streams, and
+//! every fault hook only consumes randomness when its probability is
+//! non-zero — so enabling chaos never perturbs a fault-free run at the
+//! same seed, and a failing seed replays exactly.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod clients;
+mod faults;
+mod invariants;
+mod retry;
+mod scenarios;
+mod sweep;
+
+pub use clients::{RetryingBlob, RetryingKv};
+pub use faults::{FaultPlan, PartitionWindow};
+pub use invariants::{check_cloud, ledger_consistent, message_conservation};
+pub use retry::{RetryError, RetryPolicy};
+pub use scenarios::{CrdtSync, QueuePipeline};
+pub use sweep::{sweep, RunReport, Scenario, SeedReport, SweepReport};

@@ -1,0 +1,282 @@
+//! Exponential backoff with bounded jitter, plus a generic retry
+//! driver with optional per-call timeouts.
+//!
+//! The paper's §2 compositions only work because every client retries:
+//! SQS is at-least-once, DynamoDB throttles, S3 returns 503 SlowDown.
+//! [`RetryPolicy`] is that discipline made explicit — and, because the
+//! jitter comes from a named simulation RNG stream, made deterministic.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::future::Future;
+use std::rc::Rc;
+
+use faasim_simcore::{Sim, SimDuration, SimRng};
+
+/// Why a retried operation ultimately failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RetryError<E> {
+    /// Every attempt failed transiently; `last` is the final error.
+    Exhausted {
+        /// Attempts made (equals the policy's `max_attempts`).
+        attempts: u32,
+        /// The error from the final attempt.
+        last: E,
+    },
+    /// Every attempt failed and the final one hit the per-call timeout.
+    TimedOut {
+        /// Attempts made.
+        attempts: u32,
+    },
+    /// A non-transient error: surfaced immediately, never retried.
+    Fatal(E),
+}
+
+impl<E> RetryError<E> {
+    /// The underlying error when this is [`RetryError::Fatal`].
+    pub fn as_fatal(&self) -> Option<&E> {
+        match self {
+            RetryError::Fatal(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The final underlying error, if one exists (timeouts have none).
+    pub fn into_inner(self) -> Option<E> {
+        match self {
+            RetryError::Exhausted { last, .. } | RetryError::Fatal(last) => Some(last),
+            RetryError::TimedOut { .. } => None,
+        }
+    }
+}
+
+impl<E: fmt::Display> fmt::Display for RetryError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetryError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+            RetryError::TimedOut { attempts } => {
+                write!(f, "gave up after {attempts} attempts: call timed out")
+            }
+            RetryError::Fatal(e) => write!(f, "fatal (not retried): {e}"),
+        }
+    }
+}
+
+/// Exponential backoff with bounded jitter and optional per-call
+/// timeouts.
+///
+/// Attempt `k` (zero-based) sleeps [`RetryPolicy::delay`]`(k)` before
+/// retrying, where the deterministic spine is
+/// `backoff(k) = min(cap, base * factor^k)` and jitter scales it by a
+/// uniform factor in `[1 - jitter, 1 + jitter]`. With `jitter == 0` no
+/// randomness is consumed at all.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base: SimDuration,
+    /// Multiplier per retry (clamped to ≥ 1, so backoff never shrinks).
+    pub factor: f64,
+    /// Ceiling on the deterministic backoff spine.
+    pub cap: SimDuration,
+    /// Jitter fraction in `[0, 1]`: the slept delay is
+    /// `backoff * uniform(1 - jitter, 1 + jitter)`.
+    pub jitter: f64,
+    /// If set, each attempt is raced against this virtual-time deadline
+    /// and a late response is treated as a transient failure.
+    pub call_timeout: Option<SimDuration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            base: SimDuration::from_millis(50),
+            factor: 2.0,
+            cap: SimDuration::from_secs(10),
+            jitter: 0.5,
+            call_timeout: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries — useful as a control.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The deterministic backoff spine for zero-based attempt `k`:
+    /// `min(cap, base * factor^k)`. Non-decreasing in `k` and never
+    /// above `cap`.
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        let factor = if self.factor.is_finite() {
+            self.factor.max(1.0)
+        } else {
+            1.0
+        };
+        let exp = attempt.min(i32::MAX as u32) as i32;
+        let raw = self.base.as_secs_f64() * factor.powi(exp);
+        let capped = raw.min(self.cap.as_secs_f64());
+        SimDuration::from_secs_f64(capped)
+    }
+
+    /// The actual delay slept before retry `attempt`: the backoff spine
+    /// scaled by a uniform factor in `[1 - jitter, 1 + jitter]`. Draws
+    /// from `rng` only when `jitter > 0`.
+    pub fn delay(&self, attempt: u32, rng: &mut SimRng) -> SimDuration {
+        let b = self.backoff(attempt);
+        let j = if self.jitter.is_finite() {
+            self.jitter.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        if j == 0.0 {
+            return b;
+        }
+        let scale = rng.uniform(1.0 - j, 1.0 + j);
+        SimDuration::from_secs_f64(b.as_secs_f64() * scale)
+    }
+
+    /// Drive `op` to success or final failure. Each call to `op` builds
+    /// a fresh attempt future; `is_transient` decides whether an error
+    /// is worth retrying. The shared `rng` is only borrowed between
+    /// attempts (never across an `.await`), so one stream can serve
+    /// many concurrent callers.
+    pub async fn run<T, E, Fut>(
+        &self,
+        sim: &Sim,
+        rng: &Rc<RefCell<SimRng>>,
+        is_transient: impl Fn(&E) -> bool,
+        mut op: impl FnMut() -> Fut,
+    ) -> Result<T, RetryError<E>>
+    where
+        Fut: Future<Output = Result<T, E>>,
+    {
+        let attempts = self.max_attempts.max(1);
+        let mut last: Option<RetryError<E>> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                let d = self.delay(attempt - 1, &mut rng.borrow_mut());
+                sim.sleep(d).await;
+            }
+            let outcome = match self.call_timeout {
+                Some(limit) => sim.timeout(limit, op()).await,
+                None => Some(op().await),
+            };
+            match outcome {
+                Some(Ok(v)) => return Ok(v),
+                Some(Err(e)) if is_transient(&e) => {
+                    last = Some(RetryError::Exhausted {
+                        attempts: attempt + 1,
+                        last: e,
+                    });
+                }
+                Some(Err(e)) => return Err(RetryError::Fatal(e)),
+                None => {
+                    last = Some(RetryError::TimedOut {
+                        attempts: attempt + 1,
+                    });
+                }
+            }
+        }
+        Err(last.expect("max_attempts >= 1 guarantees one attempt"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy::default()
+    }
+
+    #[test]
+    fn backoff_doubles_until_cap() {
+        let p = policy();
+        assert_eq!(p.backoff(0), SimDuration::from_millis(50));
+        assert_eq!(p.backoff(1), SimDuration::from_millis(100));
+        assert_eq!(p.backoff(2), SimDuration::from_millis(200));
+        assert_eq!(p.backoff(20), SimDuration::from_secs(10), "capped");
+        assert_eq!(p.backoff(60), SimDuration::from_secs(10), "no overflow");
+    }
+
+    #[test]
+    fn zero_jitter_consumes_no_randomness() {
+        let mut p = policy();
+        p.jitter = 0.0;
+        let mut a = SimRng::from_seed(9);
+        let mut b = SimRng::from_seed(9);
+        assert_eq!(p.delay(3, &mut a), p.backoff(3));
+        // `a` drew nothing, so the streams stay aligned.
+        assert_eq!(a.unit_f64(), b.unit_f64());
+    }
+
+    #[test]
+    fn run_retries_transient_then_succeeds() {
+        use std::cell::Cell;
+        let sim = Sim::new(1);
+        let rng = Rc::new(RefCell::new(sim.rng("retry")));
+        let p = policy();
+        let tries = Rc::new(Cell::new(0u32));
+        let t = tries.clone();
+        let sim2 = sim.clone();
+        let got: Result<u32, RetryError<&str>> = sim.block_on(async move {
+            p.run(&sim2, &rng, |_| true, move || {
+                let t = t.clone();
+                async move {
+                    t.set(t.get() + 1);
+                    if t.get() < 3 {
+                        Err("transient")
+                    } else {
+                        Ok(42)
+                    }
+                }
+            })
+            .await
+        });
+        assert_eq!(got, Ok(42));
+        assert_eq!(tries.get(), 3);
+    }
+
+    #[test]
+    fn run_surfaces_fatal_immediately() {
+        let sim = Sim::new(1);
+        let rng = Rc::new(RefCell::new(sim.rng("retry")));
+        let p = policy();
+        let sim2 = sim.clone();
+        let got: Result<(), RetryError<&str>> = sim.block_on(async move {
+            p.run(&sim2, &rng, |_| false, || async { Err("nope") }).await
+        });
+        assert_eq!(got, Err(RetryError::Fatal("nope")));
+    }
+
+    #[test]
+    fn run_times_out_slow_calls() {
+        let sim = Sim::new(1);
+        let rng = Rc::new(RefCell::new(sim.rng("retry")));
+        let mut p = policy();
+        p.max_attempts = 2;
+        p.call_timeout = Some(SimDuration::from_millis(10));
+        let sim2 = sim.clone();
+        let sim3 = sim.clone();
+        let got: Result<(), RetryError<&str>> = sim.block_on(async move {
+            p.run(&sim2, &rng, |_| true, move || {
+                let sim3 = sim3.clone();
+                async move {
+                    sim3.sleep(SimDuration::from_secs(1)).await;
+                    Ok(())
+                }
+            })
+            .await
+        });
+        assert_eq!(got, Err(RetryError::TimedOut { attempts: 2 }));
+    }
+}

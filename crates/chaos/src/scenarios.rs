@@ -1,0 +1,323 @@
+//! Built-in chaos scenarios: the two §2/§3 compositions the repo's
+//! integration suite already exercises, now run under fault injection.
+//!
+//! Both are pure functions of the seed, so the [`sweep`](crate::sweep)
+//! harness can replay any failure exactly.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use faasim::protocols::{Crdt, GCounter};
+use faasim::{Cloud, CloudProfile};
+use faasim_faas::{add_queue_trigger, decode_batch, FunctionSpec};
+use faasim_kv::{Consistency, KvError};
+use faasim_queue::QueueConfig;
+use faasim_simcore::{LatencyModel, SimDuration};
+
+use crate::clients::RetryingKv;
+use crate::faults::FaultPlan;
+use crate::invariants::check_cloud;
+use crate::retry::RetryPolicy;
+use crate::sweep::{RunReport, Scenario};
+
+fn base_profile() -> CloudProfile {
+    CloudProfile::aws_2018().exact()
+}
+
+/// §3.2's "disorderly" claim under fire: G-counter replicas gossip
+/// snapshots through the *eventually consistent* KV tier while chaos
+/// throttles the store and spikes the network, and every replica must
+/// still converge to the exact global count once writes quiesce.
+///
+/// Each replica's KV traffic goes through a [`RetryingKv`] client, so
+/// the scenario also demonstrates the retry discipline absorbing
+/// `Throttled` errors.
+#[derive(Clone, Debug)]
+pub struct CrdtSync {
+    /// The faults to inject.
+    pub plan: FaultPlan,
+    /// Number of gossiping replicas.
+    pub replicas: u64,
+    /// Increments each replica performs.
+    pub increments_each: u64,
+    /// Retry policy for the replicas' KV clients.
+    pub policy: RetryPolicy,
+}
+
+impl Default for CrdtSync {
+    fn default() -> CrdtSync {
+        CrdtSync {
+            plan: FaultPlan::calm(),
+            replicas: 4,
+            increments_each: 25,
+            policy: RetryPolicy {
+                max_attempts: 8,
+                call_timeout: Some(SimDuration::from_secs(10)),
+                ..RetryPolicy::default()
+            },
+        }
+    }
+}
+
+impl CrdtSync {
+    /// The chaotic arm: 15% KV throttling, 5% network delay spikes, 2%
+    /// packet loss.
+    pub fn chaotic() -> CrdtSync {
+        let mut s = CrdtSync::default();
+        s.plan.kv.throttle_prob = 0.15;
+        s.plan.net.delay_spike_prob = 0.05;
+        s.plan.net.loss_prob = 0.02;
+        s
+    }
+}
+
+impl Scenario for CrdtSync {
+    fn name(&self) -> &'static str {
+        "crdt-sync"
+    }
+
+    fn run(&self, seed: u64) -> RunReport {
+        let mut profile = base_profile();
+        // A deliberately laggy store: eventual reads can be 2 s stale.
+        profile.kv.eventual_lag = LatencyModel::Constant(SimDuration::from_secs(2));
+        let cloud = Cloud::new(profile, seed);
+        self.plan.apply(&cloud);
+        cloud.kv.create_table("crdt");
+
+        let replicas = self.replicas;
+        let increments_each = self.increments_each;
+        let states: Rc<RefCell<Vec<GCounter>>> =
+            Rc::new(RefCell::new((0..replicas).map(|_| GCounter::new()).collect()));
+        let stuck: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
+
+        for r in 1..=replicas {
+            let kv = RetryingKv::new(
+                &cloud.sim,
+                &cloud.kv,
+                cloud.recorder.clone(),
+                self.policy.clone(),
+                &format!("chaos.crdt.replica-{r}"),
+            );
+            let sim = cloud.sim.clone();
+            let host = cloud.client_host();
+            let states = states.clone();
+            let stuck = stuck.clone();
+            cloud.sim.spawn(async move {
+                let idx = (r - 1) as usize;
+                let my_key = format!("replica-{r}");
+                for step in 0..increments_each {
+                    states.borrow_mut()[idx].increment(r, 1);
+                    let snapshot = Bytes::from(states.borrow()[idx].encode());
+                    // A publish that exhausts its retries is not fatal —
+                    // the next step republishes a superseding snapshot.
+                    let _ = kv.put(&host, "crdt", &my_key, snapshot).await;
+                    let peer = (r + step) % replicas + 1;
+                    if peer != r {
+                        match kv
+                            .get(&host, "crdt", &format!("replica-{peer}"), Consistency::Eventual)
+                            .await
+                        {
+                            Ok(item) => {
+                                if let Some(other) = GCounter::decode(&item.value) {
+                                    states.borrow_mut()[idx].merge(&other);
+                                }
+                            }
+                            Err(e) if matches!(e.as_fatal(), Some(KvError::NoSuchKey(_))) => {}
+                            Err(_) => {} // retries exhausted: gossip again later
+                        }
+                    }
+                    sim.sleep(SimDuration::from_millis(500)).await;
+                }
+                // Quiesce: keep publishing + merging until propagated.
+                for _round in 0..20u64 {
+                    let snapshot = Bytes::from(states.borrow()[idx].encode());
+                    if kv.put(&host, "crdt", &my_key, snapshot).await.is_err() {
+                        stuck
+                            .borrow_mut()
+                            .push(format!("replica {r}: quiesce publish exhausted retries"));
+                    }
+                    for peer in 1..=replicas {
+                        if peer == r {
+                            continue;
+                        }
+                        if let Ok(item) = kv
+                            .get(&host, "crdt", &format!("replica-{peer}"), Consistency::Eventual)
+                            .await
+                        {
+                            if let Some(other) = GCounter::decode(&item.value) {
+                                states.borrow_mut()[idx].merge(&other);
+                            }
+                        }
+                    }
+                    sim.sleep(SimDuration::from_secs(1)).await;
+                }
+            });
+        }
+        cloud.sim.run();
+
+        let mut violations = stuck.borrow().clone();
+        let want = replicas * increments_each;
+        for (i, s) in states.borrow().iter().enumerate() {
+            if s.value() != want {
+                violations.push(format!(
+                    "replica {i} did not converge: {} != {want}",
+                    s.value()
+                ));
+            }
+        }
+        violations.extend(check_cloud(&cloud));
+        RunReport {
+            digest: cloud.recorder.digest(),
+            bill: cloud.ledger.report(),
+            violations,
+        }
+    }
+}
+
+/// The §2 queue-to-function pipeline under at-least-once chaos: a
+/// producer sends `messages` distinct payloads, the queue duplicates
+/// and delays deliveries, the platform kills workers mid-flight — and
+/// the worker fleet must still process **exactly** the expected payload
+/// set (dedup makes redelivery idempotent) and drain the queue.
+#[derive(Clone, Debug)]
+pub struct QueuePipeline {
+    /// The faults to inject.
+    pub plan: FaultPlan,
+    /// Number of distinct payloads sent.
+    pub messages: u32,
+    /// Virtual time allowed for the pipeline to drain.
+    pub deadline: SimDuration,
+}
+
+impl Default for QueuePipeline {
+    fn default() -> QueuePipeline {
+        QueuePipeline {
+            plan: FaultPlan::calm(),
+            messages: 30,
+            deadline: SimDuration::from_secs(180),
+        }
+    }
+}
+
+impl QueuePipeline {
+    /// The chaotic arm: 20% duplicate delivery, 10% delayed delivery,
+    /// 5% mid-flight kills, 2% packet loss.
+    pub fn chaotic() -> QueuePipeline {
+        let mut s = QueuePipeline::default();
+        s.plan.queue.duplicate_prob = 0.20;
+        s.plan.queue.delay_prob = 0.10;
+        s.plan.faas.kill_prob = 0.05;
+        s.plan.net.loss_prob = 0.02;
+        s
+    }
+}
+
+impl Scenario for QueuePipeline {
+    fn name(&self) -> &'static str {
+        "queue-pipeline"
+    }
+
+    fn run(&self, seed: u64) -> RunReport {
+        let cloud = Cloud::new(base_profile(), seed);
+        self.plan.apply(&cloud);
+        cloud.queue.create_queue(
+            "jobs",
+            QueueConfig {
+                visibility_timeout: SimDuration::from_secs(5),
+                dead_letter: None,
+            },
+        );
+
+        // payload -> delivery count; duplicates and redeliveries bump the
+        // count, the invariant only demands the *set* be exact.
+        let seen: Rc<RefCell<BTreeMap<u32, u32>>> = Rc::new(RefCell::new(BTreeMap::new()));
+        let s = seen.clone();
+        cloud.faas.register(FunctionSpec::new(
+            "worker",
+            256,
+            // A short limit keeps the chaos kill window tight enough that
+            // kills actually land mid-handler.
+            SimDuration::from_secs(1),
+            move |ctx, payload| {
+                let s = s.clone();
+                async move {
+                    // Real work before the side effect, so a mid-flight
+                    // kill can strike first and force a redelivery.
+                    ctx.cpu(SimDuration::from_millis(100)).await;
+                    for m in decode_batch(&payload).expect("batch codec") {
+                        let id = u32::from_le_bytes(m[..4].try_into().expect("4-byte payload"));
+                        *s.borrow_mut().entry(id).or_insert(0) += 1;
+                    }
+                    Ok(Bytes::new())
+                }
+            },
+        ));
+        let trigger =
+            add_queue_trigger(&cloud.faas, &cloud.queue, &cloud.fabric, "worker", "jobs", 10);
+
+        let host = cloud.client_host();
+        let queue = cloud.queue.clone();
+        let messages = self.messages;
+        cloud.sim.spawn(async move {
+            for i in 0..messages {
+                queue
+                    .send(&host, "jobs", Bytes::from(i.to_le_bytes().to_vec()))
+                    .await
+                    .expect("queue exists");
+            }
+        });
+        cloud.sim.run_until(cloud.sim.now() + self.deadline);
+        trigger.stop();
+
+        let mut violations = Vec::new();
+        {
+            let seen = seen.borrow();
+            for i in 0..self.messages {
+                if !seen.contains_key(&i) {
+                    violations.push(format!("payload {i} was never delivered"));
+                }
+            }
+            for id in seen.keys() {
+                if *id >= self.messages {
+                    violations.push(format!("unexpected payload {id} delivered"));
+                }
+            }
+        }
+        let backlog = cloud.queue.queue_len("jobs");
+        if backlog != 0 {
+            violations.push(format!("queue not drained: {backlog} messages left"));
+        }
+        violations.extend(check_cloud(&cloud));
+        RunReport {
+            digest: cloud.recorder.digest(),
+            bill: cloud.ledger.report(),
+            violations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calm_scenarios_pass_at_one_seed() {
+        let crdt = CrdtSync::default().run(1);
+        assert_eq!(crdt.violations, Vec::<String>::new());
+        let pipe = QueuePipeline::default().run(1);
+        assert_eq!(pipe.violations, Vec::<String>::new());
+    }
+
+    #[test]
+    fn chaotic_pipeline_duplicates_but_still_delivers() {
+        let report = QueuePipeline::chaotic().run(5);
+        assert_eq!(report.violations, Vec::<String>::new());
+        assert!(
+            report.digest.contains("queue.chaos_duplicated"),
+            "expected duplicate deliveries in\n{}",
+            report.digest
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for [`RetryPolicy`]: for arbitrary (bounded) policies,
+//! the deterministic backoff spine is monotone non-decreasing and capped,
+//! and the jittered delay always lands inside the advertised envelope
+//! `[backoff * (1 - jitter), backoff * (1 + jitter)]`.
+
+use faasim_chaos::RetryPolicy;
+use faasim_simcore::{SimDuration, SimRng};
+use proptest::prelude::*;
+
+/// Strategy over policies with bounded but varied shapes: bases from 1 ms
+/// to 10 s, factors from sub-1 (clamped internally) to 8x, caps from 10 ms
+/// to 100 s, full jitter range.
+fn policy(
+    base_ms: u64,
+    factor: f64,
+    cap_ms: u64,
+    jitter: f64,
+) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 8,
+        base: SimDuration::from_millis(base_ms),
+        factor,
+        cap: SimDuration::from_millis(cap_ms),
+        jitter,
+        call_timeout: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn backoff_is_monotone_nondecreasing(
+        base_ms in 1u64..10_000,
+        factor in 0.5f64..8.0,
+        cap_ms in 10u64..100_000,
+    ) {
+        let p = policy(base_ms, factor, cap_ms, 0.0);
+        let mut prev = p.backoff(0);
+        for attempt in 1..12u32 {
+            let next = p.backoff(attempt);
+            prop_assert!(
+                next >= prev,
+                "backoff shrank at attempt {attempt}: {prev} -> {next} ({p:?})"
+            );
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn backoff_is_bounded_by_the_cap(
+        base_ms in 1u64..10_000,
+        factor in 0.5f64..8.0,
+        cap_ms in 10u64..100_000,
+        attempt in 0u32..64,
+    ) {
+        let p = policy(base_ms, factor, cap_ms, 0.0);
+        let b = p.backoff(attempt);
+        prop_assert!(
+            b <= p.cap,
+            "backoff {b} exceeds cap {} at attempt {attempt}",
+            p.cap
+        );
+        // And it never undercuts the base (factor is clamped to >= 1),
+        // unless the cap itself is below the base. Small slack for the
+        // f64 secs -> SimDuration round-trip.
+        let floor = p.base.min(p.cap).as_secs_f64();
+        prop_assert!(
+            b.as_secs_f64() >= floor - 1e-9,
+            "backoff {b} undercuts min(base, cap) {floor}s"
+        );
+    }
+
+    #[test]
+    fn jittered_delay_stays_in_the_envelope(
+        base_ms in 1u64..10_000,
+        factor in 0.5f64..8.0,
+        cap_ms in 10u64..100_000,
+        jitter in 0.0f64..=1.0,
+        attempt in 0u32..16,
+        seed in 0u64..1_000_000,
+    ) {
+        let p = policy(base_ms, factor, cap_ms, jitter);
+        let mut rng = SimRng::from_seed(seed);
+        let b = p.backoff(attempt).as_secs_f64();
+        let d = p.delay(attempt, &mut rng).as_secs_f64();
+        // Small absolute slack for the f64 secs -> SimDuration round-trip.
+        let eps = 1e-9 + b * 1e-12;
+        prop_assert!(
+            d >= b * (1.0 - jitter) - eps,
+            "delay {d}s below envelope floor {}s (jitter {jitter})",
+            b * (1.0 - jitter)
+        );
+        prop_assert!(
+            d <= b * (1.0 + jitter) + eps,
+            "delay {d}s above envelope ceiling {}s (jitter {jitter})",
+            b * (1.0 + jitter)
+        );
+    }
+
+    #[test]
+    fn zero_jitter_delay_equals_the_spine(
+        base_ms in 1u64..10_000,
+        factor in 0.5f64..8.0,
+        cap_ms in 10u64..100_000,
+        attempt in 0u32..16,
+    ) {
+        let p = policy(base_ms, factor, cap_ms, 0.0);
+        let mut rng = SimRng::from_seed(1);
+        prop_assert_eq!(p.delay(attempt, &mut rng), p.backoff(attempt));
+        // The same rng state must produce the same next draw as a fresh
+        // one: no randomness was consumed.
+        let mut fresh = SimRng::from_seed(1);
+        prop_assert_eq!(rng.range_u64(0..1_000_000), fresh.range_u64(0..1_000_000));
+    }
+}

@@ -10,6 +10,7 @@ use faasim_simcore::{mbps, SimDuration};
 
 use crate::cloud::{Cloud, CloudProfile};
 use crate::experiments::election::{self, ElectionParams};
+use crate::experiments::probe::ExperimentProbe;
 use crate::report::{fmt_latency, fmt_ratio, Table};
 
 /// Parameters of the comparison.
@@ -41,6 +42,8 @@ pub struct AgentsCmpResult {
     pub blackboard_round: SimDuration,
     /// Mean failover round over addressable agents.
     pub agents_round: SimDuration,
+    /// Byte-exact replay probe (blackboard cloud, then agents cloud).
+    pub probe: ExperimentProbe,
 }
 
 impl AgentsCmpResult {
@@ -137,9 +140,12 @@ pub fn run(params: &AgentsCmpParams, seed: u64) -> AgentsCmpResult {
     let agents_round = SimDuration::from_secs_f64(
         rounds.iter().map(|d| d.as_secs_f64()).sum::<f64>() / rounds.len().max(1) as f64,
     );
+    let mut probe = bb.probe.clone();
+    probe.capture(&cloud);
     AgentsCmpResult {
         blackboard_round: bb.mean_round,
         agents_round,
+        probe,
     }
 }
 

@@ -10,6 +10,7 @@ use faasim_faas::FunctionSpec;
 use faasim_simcore::{join_all, SimDuration};
 
 use crate::cloud::{Cloud, CloudProfile};
+use crate::experiments::probe::ExperimentProbe;
 use crate::report::Table;
 
 /// Parameters of the bandwidth sweep.
@@ -62,6 +63,8 @@ pub struct BandwidthPoint {
 pub struct BandwidthResult {
     /// Points in ascending concurrency.
     pub points: Vec<BandwidthPoint>,
+    /// Byte-exact replay probe (one capture per concurrency level).
+    pub probe: ExperimentProbe,
 }
 
 impl BandwidthResult {
@@ -95,6 +98,7 @@ impl BandwidthResult {
 /// placement starts clean.
 pub fn run(params: &BandwidthParams, seed: u64) -> BandwidthResult {
     let mut points = Vec::new();
+    let mut probe = ExperimentProbe::new();
     for (i, &k) in params.concurrency_levels.iter().enumerate() {
         let cloud = Cloud::new(CloudProfile::aws_2018().exact(), seed + i as u64);
         let bytes = params.transfer_bytes;
@@ -130,6 +134,7 @@ pub fn run(params: &BandwidthParams, seed: u64) -> BandwidthResult {
         });
         let rates = rates.borrow();
         let per_fn = rates.iter().sum::<f64>() / rates.len().max(1) as f64;
+        probe.capture(&cloud);
         points.push(BandwidthPoint {
             concurrency: k,
             per_function_mbps: per_fn,
@@ -137,7 +142,7 @@ pub fn run(params: &BandwidthParams, seed: u64) -> BandwidthResult {
             hosts_used: cloud.faas.host_count(),
         });
     }
-    BandwidthResult { points }
+    BandwidthResult { points, probe }
 }
 
 /// A second sweep, after Wang et al. (the source of the paper's §3(2)
@@ -192,6 +197,8 @@ pub struct MemorySweepPoint {
 pub struct MemorySweepResult {
     /// Points in ascending memory order.
     pub points: Vec<MemorySweepPoint>,
+    /// Byte-exact replay probe (one capture per memory size).
+    pub probe: ExperimentProbe,
 }
 
 impl MemorySweepResult {
@@ -223,6 +230,7 @@ impl MemorySweepResult {
 /// Run the memory sweep.
 pub fn run_memory_sweep(params: &MemorySweepParams, seed: u64) -> MemorySweepResult {
     let mut points = Vec::new();
+    let mut probe = ExperimentProbe::new();
     for (i, &memory_mb) in params.memory_mbs.iter().enumerate() {
         let cloud = Cloud::new(CloudProfile::aws_2018().exact(), seed + i as u64);
         let bytes = params.transfer_bytes;
@@ -263,13 +271,14 @@ pub fn run_memory_sweep(params: &MemorySweepParams, seed: u64) -> MemorySweepRes
         let by_mem = (profile.host_mem_mb / memory_mb).max(1) as usize;
         let containers_per_host = by_mem.min(profile.max_containers_per_host);
         let rates = rates.borrow();
+        probe.capture(&cloud);
         points.push(MemorySweepPoint {
             memory_mb,
             containers_per_host,
             per_function_mbps: rates.iter().sum::<f64>() / rates.len().max(1) as f64,
         });
     }
-    MemorySweepResult { points }
+    MemorySweepResult { points, probe }
 }
 
 #[cfg(test)]

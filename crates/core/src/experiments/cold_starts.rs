@@ -13,6 +13,7 @@ use faasim_faas::FunctionSpec;
 use faasim_simcore::{Histogram, SimDuration};
 
 use crate::cloud::{Cloud, CloudProfile};
+use crate::experiments::probe::ExperimentProbe;
 use crate::report::{fmt_latency, Table};
 
 /// Parameters of the cold-start study.
@@ -78,6 +79,8 @@ pub struct ColdStartPoint {
 pub struct ColdStartResult {
     /// Points in ascending inter-arrival order.
     pub points: Vec<ColdStartPoint>,
+    /// Byte-exact replay probe (one capture per sweep point).
+    pub probe: ExperimentProbe,
 }
 
 impl ColdStartResult {
@@ -108,6 +111,7 @@ impl ColdStartResult {
 /// Run the sweep.
 pub fn run(params: &ColdStartParams, seed: u64) -> ColdStartResult {
     let mut points = Vec::new();
+    let mut probe = ExperimentProbe::new();
     for (i, &gap) in params.inter_arrivals.iter().enumerate() {
         let mut profile = CloudProfile::aws_2018().exact();
         if params.firecracker {
@@ -143,6 +147,7 @@ pub fn run(params: &ColdStartParams, seed: u64) -> ColdStartResult {
             (colds, hist)
         });
         let mut hist = hist;
+        probe.capture(&cloud);
         points.push(ColdStartPoint {
             inter_arrival: gap,
             cold_fraction: colds as f64 / params.invocations as f64,
@@ -151,7 +156,7 @@ pub fn run(params: &ColdStartParams, seed: u64) -> ColdStartResult {
             p99_latency: SimDuration::from_secs_f64(hist.p99()),
         });
     }
-    ColdStartResult { points }
+    ColdStartResult { points, probe }
 }
 
 #[cfg(test)]

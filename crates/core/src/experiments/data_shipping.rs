@@ -30,6 +30,7 @@ use faasim_query::{Aggregate, QuerySpec};
 use faasim_simcore::SimDuration;
 
 use crate::cloud::{Cloud, CloudProfile};
+use crate::experiments::probe::ExperimentProbe;
 use crate::report::{fmt_latency, fmt_ratio, Table};
 
 /// Parameters of the data-shipping comparison.
@@ -94,6 +95,9 @@ impl DataShippingPoint {
 pub struct DataShippingResult {
     /// Points in ascending dataset size.
     pub points: Vec<DataShippingPoint>,
+    /// Byte-exact replay probe (two captures per sweep point: the
+    /// data-to-code cloud, then the code-to-data cloud).
+    pub probe: ExperimentProbe,
 }
 
 impl DataShippingResult {
@@ -157,12 +161,18 @@ fn populate(cloud: &Cloud, dataset_mb: u64, object_mb: u64) -> (usize, u64) {
 /// Run the sweep.
 pub fn run(params: &DataShippingParams, seed: u64) -> DataShippingResult {
     let mut points = Vec::new();
+    let mut probe = ExperimentProbe::new();
     for (i, &dataset_mb) in params.dataset_mbs.iter().enumerate() {
         let seed = seed + i as u64;
-        let (d2c, execs, d2c_cost, expected) =
-            run_data_to_code(dataset_mb, params.object_mb, params.lifetime_cap, seed);
+        let (d2c, execs, d2c_cost, expected) = run_data_to_code(
+            dataset_mb,
+            params.object_mb,
+            params.lifetime_cap,
+            seed,
+            &mut probe,
+        );
         let (c2d, c2d_cost) =
-            run_code_to_data(dataset_mb, params.object_mb, seed + 1000, expected);
+            run_code_to_data(dataset_mb, params.object_mb, seed + 1000, expected, &mut probe);
         points.push(DataShippingPoint {
             dataset_mb,
             data_to_code: d2c,
@@ -172,7 +182,7 @@ pub fn run(params: &DataShippingParams, seed: u64) -> DataShippingResult {
             code_to_data_cost: c2d_cost,
         });
     }
-    DataShippingResult { points }
+    DataShippingResult { points, probe }
 }
 
 /// Variant 1: the function pulls every object and counts lines itself.
@@ -181,6 +191,7 @@ fn run_data_to_code(
     object_mb: u64,
     lifetime_cap: Option<SimDuration>,
     seed: u64,
+    probe: &mut ExperimentProbe,
 ) -> (SimDuration, u64, f64, u64) {
     let mut profile = CloudProfile::aws_2018().exact();
     if let Some(cap) = lifetime_cap {
@@ -249,6 +260,7 @@ fn run_data_to_code(
         }
     });
     assert_eq!(progress.borrow().1, expected, "wrong aggregate");
+    probe.capture(&cloud);
     (
         cloud.sim.now() - t0,
         executions.get(),
@@ -263,6 +275,7 @@ fn run_code_to_data(
     object_mb: u64,
     seed: u64,
     expected: u64,
+    probe: &mut ExperimentProbe,
 ) -> (SimDuration, f64) {
     let cloud = Cloud::new(CloudProfile::aws_2018().exact(), seed);
     populate(&cloud, dataset_mb, object_mb);
@@ -306,6 +319,7 @@ fn run_code_to_data(
         u64::from_le_bytes(out.result.expect("query result")[..8].try_into().unwrap())
     });
     assert_eq!(got, expected, "wrong aggregate");
+    probe.capture(&cloud);
     (cloud.sim.now() - t0, cloud.ledger.total())
 }
 

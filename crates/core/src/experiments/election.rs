@@ -14,6 +14,7 @@ use faasim_protocols::{
 use faasim_simcore::{mbps, SimDuration};
 
 use crate::cloud::{Cloud, CloudProfile};
+use crate::experiments::probe::ExperimentProbe;
 use crate::report::Table;
 
 /// Parameters of the election study.
@@ -73,6 +74,8 @@ pub struct ElectionResult {
     pub hourly_cost_extrapolated: f64,
     /// All measured rounds.
     pub rounds: Vec<SimDuration>,
+    /// Byte-exact replay probe.
+    pub probe: ExperimentProbe,
 }
 
 impl ElectionResult {
@@ -188,12 +191,15 @@ pub fn run(params: &ElectionParams, seed: u64) -> ElectionResult {
         * params.extrapolate_nodes as f64
         * 3600.0
         * cloud.prices.kv_read_per_request;
+    let mut probe = ExperimentProbe::new();
+    probe.capture(&cloud);
     ElectionResult {
         mean_round,
         fraction_electing: fraction,
         requests_per_node_second: steady_requests,
         hourly_cost_extrapolated: hourly,
         rounds,
+        probe,
     }
 }
 
@@ -250,6 +256,8 @@ pub struct ChurnResult {
     pub fraction: f64,
     /// Agreement rounds completed during the window.
     pub rounds: usize,
+    /// Byte-exact replay probe.
+    pub probe: ExperimentProbe,
 }
 
 /// Run the churn study: nodes live for one Lambda lifetime, die, and are
@@ -311,11 +319,14 @@ pub fn run_churn(params: &ChurnParams, seed: u64) -> ChurnResult {
         .iter()
         .filter(|r| r.completed_at > from && r.completed_at <= to)
         .count();
+    let mut probe = ExperimentProbe::new();
+    probe.capture(&cloud);
     ChurnResult {
         window: params.window,
         disturbed,
         fraction: disturbed / params.window,
         rounds,
+        probe,
     }
 }
 

@@ -12,5 +12,8 @@ pub mod cold_starts;
 pub mod data_shipping;
 pub mod election;
 pub mod prediction;
+pub mod probe;
 pub mod table1;
 pub mod training;
+
+pub use probe::ExperimentProbe;

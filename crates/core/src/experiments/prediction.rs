@@ -22,6 +22,7 @@ use faasim_queue::QueueConfig;
 use faasim_simcore::{Histogram, SimDuration};
 
 use crate::cloud::{Cloud, CloudProfile};
+use crate::experiments::probe::ExperimentProbe;
 use crate::report::{fmt_latency, fmt_ratio, Table};
 
 /// Parameters of the serving comparison.
@@ -91,6 +92,8 @@ pub struct PredictionResult {
     pub ec2_hourly_at_rate: f64,
     /// Measured per-instance throughput (messages/second).
     pub ec2_throughput_per_instance: f64,
+    /// Byte-exact replay probe (one capture per deployment's cloud).
+    pub probe: ExperimentProbe,
 }
 
 impl PredictionResult {
@@ -144,10 +147,11 @@ impl PredictionResult {
 
 /// Run all four deployments.
 pub fn run(params: &PredictionParams, seed: u64) -> PredictionResult {
-    let lambda_s3 = run_lambda(params, seed, false);
-    let lambda_opt = run_lambda(params, seed + 1, true);
-    let (ec2_sqs, _) = run_ec2_sqs(params, seed + 2);
-    let (ec2_zmq, per_batch_busy) = run_ec2_zmq(params, seed + 3);
+    let mut probe = ExperimentProbe::new();
+    let lambda_s3 = run_lambda(params, seed, false, &mut probe);
+    let lambda_opt = run_lambda(params, seed + 1, true, &mut probe);
+    let (ec2_sqs, _) = run_ec2_sqs(params, seed + 2, &mut probe);
+    let (ec2_zmq, per_batch_busy) = run_ec2_zmq(params, seed + 3, &mut probe);
 
     // Cost extrapolation, the paper's §3.1 arithmetic:
     // SQS requests per message ≈ 1 send + 1/10 receive + 1/10 delete of
@@ -167,6 +171,7 @@ pub fn run(params: &PredictionParams, seed: u64) -> PredictionResult {
         ec2_instances_at_rate: instances,
         ec2_hourly_at_rate: ec2_hourly,
         ec2_throughput_per_instance: throughput,
+        probe,
     }
 }
 
@@ -179,7 +184,12 @@ fn make_docs(params: &PredictionParams, seed: u64) -> Vec<Bytes> {
 }
 
 /// Deployments 1 & 2: Lambda behind a queue trigger.
-fn run_lambda(params: &PredictionParams, seed: u64, optimized: bool) -> Deployment {
+fn run_lambda(
+    params: &PredictionParams,
+    seed: u64,
+    optimized: bool,
+    probe: &mut ExperimentProbe,
+) -> Deployment {
     let cloud = Cloud::new(CloudProfile::aws_2018().exact(), seed);
     cloud.queue.create_queue("in", QueueConfig::default());
     cloud.queue.create_queue("out", QueueConfig::default());
@@ -274,6 +284,7 @@ fn run_lambda(params: &PredictionParams, seed: u64, optimized: bool) -> Deployme
         }
         hist
     });
+    probe.capture(&cloud);
     Deployment {
         label: if optimized {
             "Lambda optimized (model baked in, SQS out)"
@@ -286,7 +297,11 @@ fn run_lambda(params: &PredictionParams, seed: u64, optimized: bool) -> Deployme
 }
 
 /// Deployment 3: EC2 consumer long-polling SQS.
-fn run_ec2_sqs(params: &PredictionParams, seed: u64) -> (Deployment, SimDuration) {
+fn run_ec2_sqs(
+    params: &PredictionParams,
+    seed: u64,
+    probe: &mut ExperimentProbe,
+) -> (Deployment, SimDuration) {
     let cloud = Cloud::new(CloudProfile::aws_2018().exact(), seed);
     cloud.queue.create_queue("in", QueueConfig::default());
     let vm = cloud.ec2.provision_ready("m5.large", 0).expect("m5.large");
@@ -325,6 +340,7 @@ fn run_ec2_sqs(params: &PredictionParams, seed: u64) -> (Deployment, SimDuration
     });
     vm.terminate();
     let mean = SimDuration::from_secs_f64(hist.mean());
+    probe.capture(&cloud);
     (
         Deployment {
             label: "EC2 + SQS",
@@ -336,7 +352,11 @@ fn run_ec2_sqs(params: &PredictionParams, seed: u64) -> (Deployment, SimDuration
 }
 
 /// Deployment 4: clients message the EC2 server directly (ZeroMQ style).
-fn run_ec2_zmq(params: &PredictionParams, seed: u64) -> (Deployment, SimDuration) {
+fn run_ec2_zmq(
+    params: &PredictionParams,
+    seed: u64,
+    probe: &mut ExperimentProbe,
+) -> (Deployment, SimDuration) {
     let cloud = Cloud::new(CloudProfile::aws_2018().exact(), seed);
     let server = cloud.ec2.provision_ready("m5.large", 0).expect("m5.large");
     let client = cloud.ec2.provision_ready("m5.large", 0).expect("m5.large");
@@ -379,6 +399,7 @@ fn run_ec2_zmq(params: &PredictionParams, seed: u64) -> (Deployment, SimDuration
     client.terminate();
     let hist = hist_cell.borrow();
     let mean = SimDuration::from_secs_f64(hist.mean());
+    probe.capture(&cloud);
     (
         Deployment {
             label: "EC2 + ZeroMQ",

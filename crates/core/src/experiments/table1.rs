@@ -10,6 +10,7 @@ use faasim_kv::Consistency;
 use faasim_simcore::{Histogram, SimDuration};
 
 use crate::cloud::{Cloud, CloudProfile};
+use crate::experiments::probe::ExperimentProbe;
 use crate::report::{fmt_latency, fmt_ratio, Table};
 
 /// Parameters of the Table 1 reproduction (defaults match the paper's
@@ -71,6 +72,8 @@ pub struct Table1Row {
 pub struct Table1Result {
     /// The six columns, in the paper's order.
     pub rows: Vec<Table1Row>,
+    /// Byte-exact replay probe (the single cloud, captured at the end).
+    pub probe: ExperimentProbe,
 }
 
 impl Table1Result {
@@ -250,7 +253,9 @@ pub fn run(params: &Table1Params, seed: u64) -> Table1Result {
         });
     }
 
-    Table1Result { rows }
+    let mut probe = ExperimentProbe::new();
+    probe.capture(&cloud);
+    Table1Result { rows, probe }
 }
 
 /// Issue `trials` write+read pairs from inside Lambda function bodies,

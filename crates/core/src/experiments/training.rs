@@ -21,6 +21,7 @@ use faasim_pricing::Service;
 use faasim_simcore::SimDuration;
 
 use crate::cloud::{Cloud, CloudProfile};
+use crate::experiments::probe::ExperimentProbe;
 use crate::report::{fmt_ratio, Table};
 
 /// Parameters of the training comparison.
@@ -92,6 +93,8 @@ pub struct TrainingResult {
     pub lambda: TrainingSide,
     /// EC2 side.
     pub ec2: TrainingSide,
+    /// Byte-exact replay probe (Lambda cloud, then EC2 cloud).
+    pub probe: ExperimentProbe,
 }
 
 impl TrainingResult {
@@ -146,12 +149,13 @@ impl TrainingResult {
 
 /// Run the comparison.
 pub fn run(params: &TrainingParams, seed: u64) -> TrainingResult {
-    let lambda = run_lambda(params, seed);
-    let ec2 = run_ec2(params, seed + 1);
-    TrainingResult { lambda, ec2 }
+    let mut probe = ExperimentProbe::new();
+    let lambda = run_lambda(params, seed, &mut probe);
+    let ec2 = run_ec2(params, seed + 1, &mut probe);
+    TrainingResult { lambda, ec2, probe }
 }
 
-fn run_lambda(params: &TrainingParams, seed: u64) -> TrainingSide {
+fn run_lambda(params: &TrainingParams, seed: u64, probe: &mut ExperimentProbe) -> TrainingSide {
     let cloud = Cloud::new(CloudProfile::aws_2018().exact(), seed);
     cloud.blob.create_bucket("training");
     let batch_bytes = params.batch_mb * 1_000_000;
@@ -213,6 +217,7 @@ fn run_lambda(params: &TrainingParams, seed: u64) -> TrainingSide {
     let executions = executions.get();
     let total_time = cloud.sim.now() - t0;
     let compute_cost = cloud.ledger.total_for(Service::Faas);
+    probe.capture(&cloud);
     TrainingSide {
         total_time,
         per_iteration: total_time / total_iters.max(1),
@@ -222,7 +227,7 @@ fn run_lambda(params: &TrainingParams, seed: u64) -> TrainingSide {
     }
 }
 
-fn run_ec2(params: &TrainingParams, seed: u64) -> TrainingSide {
+fn run_ec2(params: &TrainingParams, seed: u64, probe: &mut ExperimentProbe) -> TrainingSide {
     let cloud = Cloud::new(CloudProfile::aws_2018().exact(), seed);
     let vm = cloud
         .ec2
@@ -242,6 +247,7 @@ fn run_ec2(params: &TrainingParams, seed: u64) -> TrainingSide {
     let total_time = cloud.sim.now() - t0;
     vm.terminate();
     let compute_cost = cloud.ledger.total_for(Service::Compute);
+    probe.capture(&cloud);
     TrainingSide {
         total_time,
         per_iteration: total_time / total_iters.max(1),

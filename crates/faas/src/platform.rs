@@ -29,6 +29,20 @@ pub enum FnError {
     },
     /// The handler returned an application error.
     Handler(String),
+    /// The container died mid-invocation (chaos-injected platform
+    /// failure; see [`FaasPlatform::set_faults`]). The paper's point:
+    /// functions must assume they can be killed at any moment.
+    Crashed {
+        /// How long the handler ran before the container died.
+        after: SimDuration,
+    },
+}
+
+impl FnError {
+    /// Whether a retry of the same invocation may succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, FnError::Crashed { .. } | FnError::TimedOut { .. })
+    }
 }
 
 impl fmt::Display for FnError {
@@ -37,6 +51,7 @@ impl fmt::Display for FnError {
             FnError::NotFound(n) => write!(f, "no such function: {n}"),
             FnError::TimedOut { after } => write!(f, "function timed out after {after}"),
             FnError::Handler(e) => write!(f, "handler error: {e}"),
+            FnError::Crashed { after } => write!(f, "container crashed after {after}"),
         }
     }
 }
@@ -191,6 +206,17 @@ struct FnHost {
     mem_used_mb: u64,
 }
 
+/// Deterministic fault knobs for the FaaS platform. Zero by default; no
+/// RNG draws are consumed while every probability is zero, so enabling
+/// chaos never perturbs a fault-free run at the same seed.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaasFaults {
+    /// Probability that an invocation's container is killed partway
+    /// through the handler ([`FnError::Crashed`]). The kill instant is
+    /// uniform over the invocation's time limit.
+    pub kill_prob: f64,
+}
+
 struct PlatformState {
     functions: HashMap<String, FunctionSpec>,
     containers: Vec<Container>,
@@ -204,6 +230,8 @@ struct PlatformState {
     failure_destinations: HashMap<String, (faasim_queue::QueueService, String)>,
     /// Lazily created control-plane host.
     control_host: Option<Host>,
+    /// Chaos knobs (all zero by default).
+    faults: FaasFaults,
 }
 
 /// The FaaS platform handle. Cheap to clone.
@@ -246,6 +274,7 @@ impl FaasPlatform {
                 provisioned: HashMap::new(),
                 failure_destinations: HashMap::new(),
                 control_host: None,
+                faults: FaasFaults::default(),
             })),
         }
     }
@@ -303,6 +332,38 @@ impl FaasPlatform {
             Which::Trigger => &self.profile.queue_trigger_overhead,
         };
         model.sample(&mut st.rng)
+    }
+
+    /// Install chaos knobs; pass `FaasFaults::default()` to disable.
+    pub fn set_faults(&self, faults: FaasFaults) {
+        self.state.borrow_mut().faults = faults;
+    }
+
+    /// Chaos cold-start storm: evict every idle container (provisioned
+    /// ones included — the storm models correlated platform churn), so
+    /// the next wave of invocations all pay cold starts. Busy containers
+    /// are untouched; in-flight kills are [`FaasFaults::kill_prob`]'s
+    /// job. Returns the number of containers evicted.
+    pub fn evict_warm(&self) -> usize {
+        let mut st = self.state.borrow_mut();
+        let mut removed: Vec<(usize, u64)> = Vec::new();
+        st.containers.retain(|c| {
+            if c.busy {
+                return true;
+            }
+            removed.push((c.host_idx, c.mem_mb));
+            false
+        });
+        for &(host_idx, mem_mb) in &removed {
+            if let Some(h) = st.hosts.get_mut(host_idx) {
+                h.containers = h.containers.saturating_sub(1);
+                h.mem_used_mb = h.mem_used_mb.saturating_sub(mem_mb);
+            }
+        }
+        drop(st);
+        let n = removed.len();
+        self.recorder.add("faas.chaos_evicted", n as u64);
+        n
     }
 
     /// Reclaim containers idle longer than the keep-alive window.
@@ -628,19 +689,58 @@ impl FaasPlatform {
             memory_mb: spec.memory_mb,
             cold,
         };
+        // Chaos: decide up front whether (and when) this invocation's
+        // container dies mid-flight. The kill instant is uniform over the
+        // time limit, so long handlers are proportionally more exposed —
+        // the paper's 15-minute-lifetime hazard in miniature.
+        let kill_after = {
+            let mut st = self.state.borrow_mut();
+            let p = st.faults.kill_prob;
+            if p > 0.0 && st.rng.chance(p) {
+                Some(SimDuration::from_secs_f64(
+                    limit.as_secs_f64() * st.rng.unit_f64(),
+                ))
+            } else {
+                None
+            }
+        };
+        let effective_limit = kill_after.map(|k| k.min(limit)).unwrap_or(limit);
         let fut = (spec.handler)(ctx, payload);
-        let result = match self.sim.timeout(limit, fut).await {
-            Some(r) => r,
-            None => Err(FnError::TimedOut { after: limit }),
+        let crashed;
+        let result = match self.sim.timeout(effective_limit, fut).await {
+            Some(r) => {
+                crashed = false;
+                r
+            }
+            None if kill_after.is_some() => {
+                crashed = true;
+                self.recorder.incr("faas.chaos_kills");
+                Err(FnError::Crashed {
+                    after: effective_limit,
+                })
+            }
+            None => {
+                crashed = false;
+                Err(FnError::TimedOut { after: limit })
+            }
         };
         let exec = self.sim.now() - exec_start;
 
         // Release the container (look it up by id: the vector may have
-        // shifted while we ran).
+        // shifted while we ran). A crashed container is destroyed instead
+        // of returning to the warm pool.
         {
             let now = self.sim.now();
             let mut st = self.state.borrow_mut();
-            if let Some(c) = st.containers.iter_mut().find(|c| c.id == container_id) {
+            if crashed {
+                if let Some(pos) = st.containers.iter().position(|c| c.id == container_id) {
+                    let c = st.containers.remove(pos);
+                    if let Some(h) = st.hosts.get_mut(c.host_idx) {
+                        h.containers = h.containers.saturating_sub(1);
+                        h.mem_used_mb = h.mem_used_mb.saturating_sub(c.mem_mb);
+                    }
+                }
+            } else if let Some(c) = st.containers.iter_mut().find(|c| c.id == container_id) {
                 c.busy = false;
                 c.idle_since = now;
             }

@@ -46,6 +46,16 @@ pub enum KvError {
     ConditionFailed,
     /// The item exceeds [`MAX_ITEM_BYTES`].
     ItemTooLarge(usize),
+    /// The service throttled this request (transient; retryable). Only
+    /// produced when chaos injection is enabled via [`KvStore::set_faults`].
+    Throttled,
+}
+
+impl KvError {
+    /// Whether a retry of the same request may succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, KvError::Throttled)
+    }
 }
 
 impl fmt::Display for KvError {
@@ -55,6 +65,7 @@ impl fmt::Display for KvError {
             KvError::NoSuchKey(k) => write!(f, "no such key: {k}"),
             KvError::ConditionFailed => write!(f, "condition failed"),
             KvError::ItemTooLarge(n) => write!(f, "item too large: {n} bytes"),
+            KvError::Throttled => write!(f, "request throttled"),
         }
     }
 }
@@ -128,9 +139,20 @@ struct Table {
     next_version: u64,
 }
 
+/// Deterministic fault knobs for the table service. Zero by default; no
+/// RNG draws are consumed while every probability is zero, so enabling
+/// chaos never perturbs a fault-free run at the same seed.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct KvFaults {
+    /// Probability that a request is throttled ([`KvError::Throttled`])
+    /// after paying its round-trip latency.
+    pub throttle_prob: f64,
+}
+
 struct KvState {
     tables: BTreeMap<String, Table>,
     rng: SimRng,
+    faults: KvFaults,
 }
 
 /// The key-value service handle. Cheap to clone.
@@ -162,6 +184,7 @@ impl KvStore {
             state: Rc::new(RefCell::new(KvState {
                 tables: BTreeMap::new(),
                 rng: sim.rng("kv.store"),
+                faults: KvFaults::default(),
             })),
         }
     }
@@ -175,6 +198,11 @@ impl KvStore {
             .or_default();
     }
 
+    /// Install chaos knobs; pass `KvFaults::default()` to disable.
+    pub fn set_faults(&self, faults: KvFaults) {
+        self.state.borrow_mut().faults = faults;
+    }
+
     async fn pay_latency(&self, op: &str) {
         let latency = {
             let mut st = self.state.borrow_mut();
@@ -182,6 +210,24 @@ impl KvStore {
         };
         self.sim.sleep(latency).await;
         self.recorder.record_duration(op, latency);
+    }
+
+    /// Chaos gate at the head of every operation: a throttled request
+    /// pays a full round trip before the error reaches the caller (like
+    /// a real HTTP 400 ProvisionedThroughputExceededException), but is
+    /// not billed.
+    async fn chaos_gate(&self, op: &str) -> Result<(), KvError> {
+        let throttled = {
+            let mut st = self.state.borrow_mut();
+            let p = st.faults.throttle_prob;
+            p > 0.0 && st.rng.chance(p)
+        };
+        if throttled {
+            self.pay_latency(op).await;
+            self.recorder.incr("kv.throttled");
+            return Err(KvError::Throttled);
+        }
+        Ok(())
     }
 
     fn charge_read(&self, n: f64) {
@@ -215,6 +261,7 @@ impl KvStore {
         if value.len() > MAX_ITEM_BYTES {
             return Err(KvError::ItemTooLarge(value.len()));
         }
+        self.chaos_gate("kv.put.latency").await?;
         self.pay_latency("kv.put.latency").await;
         let now = self.sim.now();
         let version = {
@@ -257,6 +304,7 @@ impl KvStore {
         if value.len() > MAX_ITEM_BYTES {
             return Err(KvError::ItemTooLarge(value.len()));
         }
+        self.chaos_gate("kv.put.latency").await?;
         self.pay_latency("kv.put.latency").await;
         let now = self.sim.now();
         let result = {
@@ -306,6 +354,7 @@ impl KvStore {
         key: &str,
         consistency: Consistency,
     ) -> Result<Item, KvError> {
+        self.chaos_gate("kv.get.latency").await?;
         self.pay_latency("kv.get.latency").await;
         let lag = match consistency {
             Consistency::Strong => SimDuration::ZERO,
@@ -349,6 +398,7 @@ impl KvStore {
 
     /// Delete an item (idempotent).
     pub async fn delete(&self, _caller: &Host, table: &str, key: &str) -> Result<(), KvError> {
+        self.chaos_gate("kv.delete.latency").await?;
         self.pay_latency("kv.delete.latency").await;
         {
             let mut st = self.state.borrow_mut();
@@ -371,6 +421,7 @@ impl KvStore {
         table: &str,
         prefix: &str,
     ) -> Result<Vec<(String, Item)>, KvError> {
+        self.chaos_gate("kv.scan.latency").await?;
         self.pay_latency("kv.scan.latency").await;
         let out: Vec<(String, Item)> = {
             let st = self.state.borrow();

@@ -93,6 +93,31 @@ impl NetProfile {
     }
 }
 
+/// Deterministic fault-injection knobs for the fabric. All probabilities
+/// default to zero, and the fabric consumes no extra RNG draws while they
+/// are zero — enabling chaos never perturbs the event stream of a
+/// fault-free run at the same seed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetFaults {
+    /// Probability that a sampled one-way latency gets a spike added.
+    pub delay_spike_prob: f64,
+    /// Extra latency added when a spike hits.
+    pub delay_spike: LatencyModel,
+    /// Probability that a datagram is silently lost on the wire (after
+    /// paying the sender's NIC, like real packet loss).
+    pub loss_prob: f64,
+}
+
+impl Default for NetFaults {
+    fn default() -> Self {
+        NetFaults {
+            delay_spike_prob: 0.0,
+            delay_spike: LatencyModel::Constant(SimDuration::from_millis(50)),
+            loss_prob: 0.0,
+        }
+    }
+}
+
 pub(crate) struct HostState {
     rack: RackId,
     nic: FairShareLink,
@@ -124,6 +149,8 @@ pub(crate) struct FabricInner {
     pub(crate) sockets: RefCell<HashMap<super::socket::Addr, super::socket::SocketHandle>>,
     /// Active network partition: host sets that cannot reach each other.
     partition: RefCell<Option<(std::collections::HashSet<HostId>, std::collections::HashSet<HostId>)>>,
+    /// Chaos knobs (all zero by default).
+    faults: RefCell<NetFaults>,
 }
 
 /// The datacenter network. Cheap to clone.
@@ -145,6 +172,7 @@ impl Fabric {
                 recorder,
                 sockets: RefCell::new(HashMap::new()),
                 partition: RefCell::new(None),
+                faults: RefCell::new(NetFaults::default()),
             }),
         }
     }
@@ -199,7 +227,26 @@ impl Fabric {
             }
             .clone()
         };
-        model.sample(&mut self.inner.rng.borrow_mut())
+        let mut rng = self.inner.rng.borrow_mut();
+        let mut latency = model.sample(&mut rng);
+        let faults = self.inner.faults.borrow();
+        if faults.delay_spike_prob > 0.0 && rng.chance(faults.delay_spike_prob) {
+            latency = latency + faults.delay_spike.sample(&mut rng);
+            self.inner.recorder.incr("net.chaos_delay_spikes");
+        }
+        latency
+    }
+
+    /// Install chaos knobs; pass `NetFaults::default()` to disable.
+    pub fn set_faults(&self, faults: NetFaults) {
+        *self.inner.faults.borrow_mut() = faults;
+    }
+
+    /// Whether the chaos layer eats this datagram (packet loss). Consumes
+    /// an RNG draw only when a loss probability is configured.
+    pub(crate) fn chaos_drop(&self) -> bool {
+        let p = self.inner.faults.borrow().loss_prob;
+        p > 0.0 && self.inner.rng.borrow_mut().chance(p)
     }
 
     /// Partition the network: messages between `side_a` and `side_b` are

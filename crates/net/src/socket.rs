@@ -189,6 +189,11 @@ impl Socket {
             rec.incr("net.messages_partitioned");
             return;
         }
+        // Chaos-injected packet loss, equally silent to the sender.
+        if self.fabric.chaos_drop() {
+            rec.incr("net.messages_lost");
+            return;
+        }
         let latency = self.fabric.one_way_latency(&self.host, to.host);
         let fabric = self.fabric.clone();
         let from = self.addr;

@@ -180,11 +180,39 @@ impl QueueState {
     }
 }
 
+/// Deterministic fault knobs for the queue service, modeling the rough
+/// edges of at-least-once delivery. Zero by default; no RNG draws are
+/// consumed while every probability is zero, so enabling chaos never
+/// perturbs a fault-free run at the same seed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueueFaults {
+    /// Probability that a client-sent message is enqueued twice with two
+    /// distinct ids (upstream duplication — the sender's retry after a
+    /// lost acknowledgment).
+    pub duplicate_prob: f64,
+    /// Probability that a client-sent message only becomes visible after
+    /// an extra [`QueueFaults::delay`] (a slow shard).
+    pub delay_prob: f64,
+    /// The extra delay applied when [`QueueFaults::delay_prob`] hits.
+    pub delay: LatencyModel,
+}
+
+impl Default for QueueFaults {
+    fn default() -> Self {
+        QueueFaults {
+            duplicate_prob: 0.0,
+            delay_prob: 0.0,
+            delay: LatencyModel::Constant(SimDuration::from_secs(1)),
+        }
+    }
+}
+
 struct ServiceState {
     queues: BTreeMap<String, QueueState>,
     topics: BTreeMap<String, Vec<String>>,
     next_id: u64,
     rng: SimRng,
+    faults: QueueFaults,
 }
 
 /// The queue service handle. Cheap to clone.
@@ -218,6 +246,7 @@ impl QueueService {
                 topics: BTreeMap::new(),
                 next_id: 0,
                 rng: sim.rng("queue.service"),
+                faults: QueueFaults::default(),
             })),
         }
     }
@@ -254,31 +283,91 @@ impl QueueService {
         );
     }
 
-    fn enqueue_now(&self, queue: &str, bodies: Vec<Bytes>) -> Result<Vec<MessageId>, QueueError> {
+    /// Install chaos knobs; pass `QueueFaults::default()` to disable.
+    pub fn set_faults(&self, faults: QueueFaults) {
+        self.state.borrow_mut().faults = faults;
+    }
+
+    /// Enqueue message bodies. `client_send` marks messages arriving from
+    /// a client request — only those are subject to chaos duplication and
+    /// delay (internal dead-letter moves are exempt).
+    fn enqueue_now(
+        &self,
+        queue: &str,
+        bodies: Vec<Bytes>,
+        client_send: bool,
+    ) -> Result<Vec<MessageId>, QueueError> {
         let now = self.sim.now();
         let mut st = self.state.borrow_mut();
-        let mut ids = Vec::with_capacity(bodies.len());
-        // Reserve ids first to satisfy the borrow checker.
+        // Decide per-body faults before touching the queue map (rng and
+        // queues live in the same RefCell'd struct). `copies` is 1 or 2;
+        // `extra_delay` shifts initial visibility.
+        let plans: Vec<(u32, SimDuration)> = bodies
+            .iter()
+            .map(|_| {
+                if !client_send {
+                    return (1, SimDuration::ZERO);
+                }
+                let faults = st.faults.clone();
+                let copies = if faults.duplicate_prob > 0.0 && st.rng.chance(faults.duplicate_prob)
+                {
+                    2
+                } else {
+                    1
+                };
+                let delay = if faults.delay_prob > 0.0 && st.rng.chance(faults.delay_prob) {
+                    faults.delay.sample(&mut st.rng)
+                } else {
+                    SimDuration::ZERO
+                };
+                (copies, delay)
+            })
+            .collect();
+        let total: u64 = plans.iter().map(|(c, _)| *c as u64).sum();
         let base = st.next_id;
-        st.next_id += bodies.len() as u64;
+        st.next_id += total;
         let q = st
             .queues
             .get_mut(queue)
             .ok_or_else(|| QueueError::NoSuchQueue(queue.to_owned()))?;
-        for (i, body) in bodies.into_iter().enumerate() {
-            let id = MessageId(base + i as u64);
-            q.messages.push(StoredMessage {
-                id,
-                body,
-                visible_at: now,
-                receive_count: 0,
-                generation: 0,
-                enqueued_at: now,
-                deleted: false,
-            });
-            ids.push(id);
+        let mut ids = Vec::with_capacity(bodies.len());
+        let mut next = base;
+        let mut duplicated = 0u64;
+        let mut delayed = 0u64;
+        for (body, (copies, extra_delay)) in bodies.into_iter().zip(plans) {
+            if copies > 1 {
+                duplicated += 1;
+            }
+            if extra_delay > SimDuration::ZERO {
+                delayed += 1;
+            }
+            for copy in 0..copies {
+                let id = MessageId(next);
+                next += 1;
+                q.messages.push(StoredMessage {
+                    id,
+                    body: body.clone(),
+                    visible_at: now + extra_delay,
+                    receive_count: 0,
+                    generation: 0,
+                    enqueued_at: now,
+                    deleted: false,
+                });
+                // The caller learns one id per body, like a sender whose
+                // retry created an invisible second copy.
+                if copy == 0 {
+                    ids.push(id);
+                }
+            }
         }
         q.arrivals.notify_all();
+        drop(st);
+        if duplicated > 0 {
+            self.recorder.add("queue.chaos_duplicated", duplicated);
+        }
+        if delayed > 0 {
+            self.recorder.add("queue.chaos_delayed", delayed);
+        }
         Ok(ids)
     }
 
@@ -291,7 +380,7 @@ impl QueueService {
     ) -> Result<MessageId, QueueError> {
         let latency = self.sample(&self.profile.send_latency);
         self.sim.sleep(latency).await;
-        let ids = self.enqueue_now(queue, vec![body])?;
+        let ids = self.enqueue_now(queue, vec![body], true)?;
         self.charge_request(1.0);
         self.recorder.incr("queue.send");
         Ok(ids[0])
@@ -310,7 +399,7 @@ impl QueueService {
         let latency = self.sample(&self.profile.send_latency);
         self.sim.sleep(latency).await;
         let n = bodies.len();
-        let ids = self.enqueue_now(queue, bodies)?;
+        let ids = self.enqueue_now(queue, bodies, true)?;
         self.charge_request(1.0);
         self.recorder.add("queue.send", n as u64);
         Ok(ids)
@@ -420,8 +509,8 @@ impl QueueService {
         }
         if let (Some(target), false) = (dlq_target, dead_lettered.is_empty()) {
             let n = dead_lettered.len() as u64;
-            // Internal move: not billed to the customer.
-            let _ = self.enqueue_now(&target, dead_lettered);
+            // Internal move: not billed to the customer, exempt from chaos.
+            let _ = self.enqueue_now(&target, dead_lettered, false);
             self.recorder.add("queue.dead_lettered", n);
         }
         Ok(out)
@@ -531,7 +620,7 @@ impl QueueService {
             .cloned()
             .unwrap_or_default();
         for q in &subs {
-            let _ = self.enqueue_now(q, vec![body.clone()]);
+            let _ = self.enqueue_now(q, vec![body.clone()], true);
         }
         self.charge_request(1.0);
         self.recorder.incr("queue.publish");

@@ -3,7 +3,9 @@
 //! differ when distributions have spread.
 
 use bytes::Bytes;
-use faasim::experiments::{prediction, table1, training};
+use faasim::experiments::{
+    agents_cmp, bandwidth, cold_starts, data_shipping, election, prediction, table1, training,
+};
 use faasim::faas::FunctionSpec;
 use faasim::simcore::SimDuration;
 use faasim::{Cloud, CloudProfile};
@@ -52,6 +54,98 @@ fn training_and_prediction_reproducible() {
     let p2 = prediction::run(&prediction::PredictionParams::quick(), 9);
     for (a, b) in p1.deployments.iter().zip(p2.deployments.iter()) {
         assert_eq!(a.mean_batch_latency, b.mean_batch_latency, "{}", a.label);
+    }
+}
+
+/// Every experiment result now carries an `ExperimentProbe`: the byte-exact
+/// `Recorder` digest and `Ledger` report of every cloud it built. Equal
+/// probes mean every counter, histogram, and billed line item replayed
+/// identically — a much stronger check than comparing headline numbers.
+mod probe_replay {
+    use super::*;
+    use faasim::experiments::ExperimentProbe;
+
+    fn assert_probe_replay(label: &str, a: &ExperimentProbe, b: &ExperimentProbe) {
+        assert!(!a.is_empty(), "{label}: probe captured no clouds");
+        assert_eq!(a, b, "{label}: same seed must replay byte-identically");
+    }
+
+    #[test]
+    fn table1_probe_replays() {
+        let a = table1::run(&table1::Table1Params::quick(), 11);
+        let b = table1::run(&table1::Table1Params::quick(), 11);
+        assert_probe_replay("table1", &a.probe, &b.probe);
+    }
+
+    #[test]
+    fn training_probe_replays() {
+        let a = training::run(&training::TrainingParams::quick(), 11);
+        let b = training::run(&training::TrainingParams::quick(), 11);
+        assert_probe_replay("training", &a.probe, &b.probe);
+    }
+
+    #[test]
+    fn prediction_probe_replays() {
+        let a = prediction::run(&prediction::PredictionParams::quick(), 11);
+        let b = prediction::run(&prediction::PredictionParams::quick(), 11);
+        assert_probe_replay("prediction", &a.probe, &b.probe);
+    }
+
+    #[test]
+    fn cold_starts_probe_replays() {
+        let a = cold_starts::run(&cold_starts::ColdStartParams::quick(), 11);
+        let b = cold_starts::run(&cold_starts::ColdStartParams::quick(), 11);
+        assert_probe_replay("cold_starts", &a.probe, &b.probe);
+    }
+
+    #[test]
+    fn bandwidth_probes_replay() {
+        let a = bandwidth::run(&bandwidth::BandwidthParams::quick(), 11);
+        let b = bandwidth::run(&bandwidth::BandwidthParams::quick(), 11);
+        assert_probe_replay("bandwidth", &a.probe, &b.probe);
+
+        let ma = bandwidth::run_memory_sweep(&bandwidth::MemorySweepParams::quick(), 11);
+        let mb = bandwidth::run_memory_sweep(&bandwidth::MemorySweepParams::quick(), 11);
+        assert_probe_replay("memory_sweep", &ma.probe, &mb.probe);
+    }
+
+    #[test]
+    fn data_shipping_probe_replays() {
+        let a = data_shipping::run(&data_shipping::DataShippingParams::quick(), 11);
+        let b = data_shipping::run(&data_shipping::DataShippingParams::quick(), 11);
+        assert_probe_replay("data_shipping", &a.probe, &b.probe);
+    }
+
+    #[test]
+    fn election_probes_replay() {
+        let a = election::run(&election::ElectionParams::quick(), 11);
+        let b = election::run(&election::ElectionParams::quick(), 11);
+        assert_probe_replay("election", &a.probe, &b.probe);
+
+        let ca = election::run_churn(&election::ChurnParams::quick(), 11);
+        let cb = election::run_churn(&election::ChurnParams::quick(), 11);
+        assert_probe_replay("churn", &ca.probe, &cb.probe);
+    }
+
+    #[test]
+    fn agents_cmp_probe_replays() {
+        let a = agents_cmp::run(&agents_cmp::AgentsCmpParams::quick(), 11);
+        let b = agents_cmp::run(&agents_cmp::AgentsCmpParams::quick(), 11);
+        assert_probe_replay("agents_cmp", &a.probe, &b.probe);
+    }
+
+    #[test]
+    fn different_seeds_perturb_the_probe() {
+        let params = table1::Table1Params {
+            exact: false,
+            invocations: 30,
+            io_trials: 30,
+            rtt_trials: 30,
+            ..table1::Table1Params::quick()
+        };
+        let a = table1::run(&params, 11);
+        let c = table1::run(&params, 12);
+        assert_ne!(a.probe, c.probe, "jittered runs must differ across seeds");
     }
 }
 
