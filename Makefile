@@ -4,7 +4,7 @@
 CARGO ?= cargo
 export CARGO_NET_OFFLINE = true
 
-.PHONY: build test test-all chaos-sweep clean
+.PHONY: build test test-all chaos-sweep bench clean
 
 ## Release build of the whole workspace.
 build:
@@ -19,12 +19,21 @@ test:
 test-all:
 	$(CARGO) test --workspace -q
 
-## Tier-1 verify, then the 16-seed deterministic fault-injection sweep
-## over the CRDT-sync and queue-pipeline scenarios. Fails (nonzero exit)
-## on any invariant violation or replay divergence and prints the
-## minimal failing seed.
+## Tier-1 verify, then the deterministic fault-injection sweep over the
+## CRDT-sync and queue-pipeline scenarios, fanned out across every core
+## (byte-identical to a serial sweep) and reporting seeds/sec. Fails
+## (nonzero exit) on any invariant violation or replay divergence and
+## prints the minimal failing seed. Override the seed count with
+## CHAOS_SEEDS=<n>.
+CHAOS_SEEDS ?= 16
 chaos-sweep: test
-	$(CARGO) run --release --example chaos_sweep
+	CHAOS_SEEDS=$(CHAOS_SEEDS) $(CARGO) run --release --example chaos_sweep
+
+## Wall-clock performance baseline: DES-kernel events/sec, per-experiment
+## wall-clock, and 64-seed sweep throughput (serial vs parallel). Writes
+## BENCH_baseline.json — the perf trajectory future PRs are gated on.
+bench:
+	$(CARGO) bench -p faasim-bench --bench wallclock
 
 clean:
 	$(CARGO) clean

@@ -1,0 +1,28 @@
+//! `make bench`: the wall-clock performance baseline.
+//!
+//! Times the DES kernel (events/sec), every experiment at `quick()`
+//! params, and a 64-seed chaos sweep serial vs parallel, then writes
+//! `BENCH_baseline.json` (override the path with `BENCH_OUT`, the seed
+//! count with `BENCH_SWEEP_SEEDS`).
+
+use faasim_bench::wallclock;
+
+fn main() {
+    // `cargo bench` passes harness flags like `--bench`; ignore them.
+    let seeds = std::env::var("BENCH_SWEEP_SEEDS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(64);
+    // Default next to the workspace root regardless of the CWD cargo
+    // gives bench binaries (the package dir).
+    let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_baseline.json").to_owned()
+    });
+
+    faasim_bench::section("wall-clock baseline (host time, not virtual time)");
+    let baseline = wallclock::run_baseline(seeds);
+    println!("{}", baseline.render());
+
+    std::fs::write(&out_path, baseline.to_json()).expect("write baseline json");
+    println!("wrote {out_path}");
+}

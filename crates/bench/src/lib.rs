@@ -8,6 +8,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod wallclock;
+
 /// Print a section header.
 pub fn section(title: &str) {
     println!();
@@ -16,13 +18,15 @@ pub fn section(title: &str) {
 }
 
 /// Print a paper-vs-measured comparison line with the relative deviation.
+/// A zero paper value has no meaningful relative deviation, so it prints
+/// `n/a` instead of a misleading `+0.0%`.
 pub fn compare(label: &str, paper: f64, measured: f64, unit: &str) {
     let dev = if paper != 0.0 {
-        (measured - paper) / paper * 100.0
+        format!("{:+.1}%", (measured - paper) / paper * 100.0)
     } else {
-        0.0
+        "n/a".to_owned()
     };
-    println!("  {label:<44} paper {paper:>10.3} {unit:<5} measured {measured:>10.3} {unit:<5} ({dev:+.1}%)");
+    println!("  {label:<44} paper {paper:>10.3} {unit:<5} measured {measured:>10.3} {unit:<5} ({dev})");
 }
 
 /// The seed used by every harness, so printed tables are reproducible.

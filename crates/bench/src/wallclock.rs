@@ -1,0 +1,433 @@
+//! The wall-clock performance baseline: how fast is the simulator
+//! *itself*?
+//!
+//! Every other harness in this crate measures **virtual** time — what the
+//! simulated cloud experiences. This one measures **host** time: events
+//! per second through the DES kernel, wall-clock per experiment, and
+//! seeds per second through the chaos sweep, serial and fanned out across
+//! cores with [`ParallelSweep`]. The numbers land in
+//! `BENCH_baseline.json` so the repo carries a perf trajectory and future
+//! PRs can be gated against regressions (the SeBS lesson: a benchmark
+//! suite without reproducible throughput baselines is a demo, not a
+//! measurement).
+//!
+//! Run it with `make bench` (or
+//! `cargo bench -p faasim-bench --bench wallclock`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use faasim::experiments::{
+    agents_cmp, bandwidth, cold_starts, data_shipping, election, prediction, table1, training,
+};
+use faasim::simcore::{mbps, FairShareLink, Sim, SimDuration};
+use faasim_chaos::{sweep, CrdtSync, ParallelSweep};
+
+use crate::BENCH_SEED;
+
+/// One kernel microbenchmark: wall-clock plus the kernel's own event
+/// counter, giving events/sec.
+#[derive(Clone, Debug)]
+pub struct KernelBench {
+    /// Benchmark name, `kernel/<what>`.
+    pub name: String,
+    /// Host seconds elapsed.
+    pub wall_secs: f64,
+    /// Events the kernel processed (task polls + timer firings).
+    pub events: u64,
+}
+
+impl KernelBench {
+    /// Events per host second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.events as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Wall-clock for one experiment at `quick()` params.
+#[derive(Clone, Debug)]
+pub struct ExperimentBench {
+    /// Experiment name as used in EXPERIMENTS.md.
+    pub name: String,
+    /// Host seconds elapsed.
+    pub wall_secs: f64,
+}
+
+/// Serial-vs-parallel sweep throughput.
+#[derive(Clone, Debug)]
+pub struct SweepBench {
+    /// Seeds swept (each runs twice — the replay check).
+    pub seeds: usize,
+    /// Worker threads the parallel arm used.
+    pub workers: usize,
+    /// Host seconds, serial arm.
+    pub serial_secs: f64,
+    /// Host seconds, parallel arm.
+    pub parallel_secs: f64,
+}
+
+impl SweepBench {
+    /// Serial seeds per host second.
+    pub fn serial_seeds_per_sec(&self) -> f64 {
+        self.seeds as f64 / self.serial_secs.max(1e-9)
+    }
+
+    /// Parallel seeds per host second.
+    pub fn parallel_seeds_per_sec(&self) -> f64 {
+        self.seeds as f64 / self.parallel_secs.max(1e-9)
+    }
+
+    /// Wall-clock speedup of the parallel arm over the serial arm.
+    pub fn speedup(&self) -> f64 {
+        self.serial_secs / self.parallel_secs.max(1e-9)
+    }
+}
+
+/// Everything `make bench` measures.
+#[derive(Clone, Debug)]
+pub struct Baseline {
+    /// Cores the host reports.
+    pub cores: usize,
+    /// DES-kernel microbenchmarks.
+    pub kernel: Vec<KernelBench>,
+    /// Per-experiment wall-clock at `quick()` params.
+    pub experiments: Vec<ExperimentBench>,
+    /// Chaos-sweep throughput, serial vs parallel.
+    pub sweep: SweepBench,
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed().as_secs_f64(), out)
+}
+
+fn kernel_bench(name: &str, f: impl FnOnce() -> u64) -> KernelBench {
+    let (wall_secs, events) = time(f);
+    KernelBench {
+        name: name.to_owned(),
+        wall_secs,
+        events,
+    }
+}
+
+/// The DES-kernel microbenchmarks: each returns the kernel's event count
+/// so the score is events/sec, not iterations/sec.
+pub fn run_kernel_benches() -> Vec<KernelBench> {
+    vec![
+        kernel_bench("kernel/sequential_sleeps_100k", || {
+            let sim = Sim::new(BENCH_SEED);
+            let s = sim.clone();
+            sim.block_on(async move {
+                for _ in 0..100_000 {
+                    s.sleep(SimDuration::from_micros(1)).await;
+                }
+            });
+            sim.stats().events_processed
+        }),
+        kernel_bench("kernel/concurrent_tasks_10k", || {
+            let sim = Sim::new(BENCH_SEED);
+            for i in 0..10_000u64 {
+                let s = sim.clone();
+                sim.spawn(async move {
+                    for _ in 0..10 {
+                        s.sleep(SimDuration::from_nanos(1 + i % 977)).await;
+                    }
+                });
+            }
+            sim.run();
+            sim.stats().events_processed
+        }),
+        kernel_bench("kernel/timer_cancel_churn_50k", || {
+            // Timeouts that never fire: every sleep is registered and
+            // then canceled — the slab-recycling hot path.
+            let sim = Sim::new(BENCH_SEED);
+            let s = sim.clone();
+            sim.block_on(async move {
+                for _ in 0..50_000 {
+                    s.timeout(SimDuration::from_secs(3600), s.sleep(SimDuration::from_nanos(10)))
+                        .await;
+                }
+            });
+            sim.stats().events_processed
+        }),
+        kernel_bench("kernel/link_churn_500_flows", || {
+            let sim = Sim::new(BENCH_SEED);
+            let link = FairShareLink::new(&sim, mbps(1000.0));
+            for i in 0..500u64 {
+                let l = link.clone();
+                let s = sim.clone();
+                sim.spawn(async move {
+                    s.sleep(SimDuration::from_micros(i * 13)).await;
+                    let cap = if i % 4 == 0 { Some(mbps(10.0)) } else { None };
+                    l.transfer(250_000, cap).await;
+                });
+            }
+            sim.run();
+            sim.stats().events_processed
+        }),
+    ]
+}
+
+/// Wall-clock each of the eight experiments at `quick()` params.
+pub fn run_experiment_benches() -> Vec<ExperimentBench> {
+    fn one(name: &str, f: impl FnOnce()) -> ExperimentBench {
+        let (wall_secs, ()) = time(f);
+        ExperimentBench {
+            name: name.to_owned(),
+            wall_secs,
+        }
+    }
+    vec![
+        one("table1", || {
+            std::hint::black_box(table1::run(&table1::Table1Params::quick(), BENCH_SEED));
+        }),
+        one("cold_starts", || {
+            std::hint::black_box(cold_starts::run(
+                &cold_starts::ColdStartParams::quick(),
+                BENCH_SEED,
+            ));
+        }),
+        one("bandwidth", || {
+            std::hint::black_box(bandwidth::run(
+                &bandwidth::BandwidthParams::quick(),
+                BENCH_SEED,
+            ));
+        }),
+        one("data_shipping", || {
+            std::hint::black_box(data_shipping::run(
+                &data_shipping::DataShippingParams::quick(),
+                BENCH_SEED,
+            ));
+        }),
+        one("training", || {
+            std::hint::black_box(training::run(&training::TrainingParams::quick(), BENCH_SEED));
+        }),
+        one("prediction", || {
+            std::hint::black_box(prediction::run(
+                &prediction::PredictionParams::quick(),
+                BENCH_SEED,
+            ));
+        }),
+        one("election", || {
+            std::hint::black_box(election::run(&election::ElectionParams::quick(), BENCH_SEED));
+        }),
+        one("agents_cmp", || {
+            std::hint::black_box(agents_cmp::run(
+                &agents_cmp::AgentsCmpParams::quick(),
+                BENCH_SEED,
+            ));
+        }),
+    ]
+}
+
+/// Sweep `seeds` seeds of the chaotic CRDT-sync scenario serially and
+/// through [`ParallelSweep`], asserting the reports are byte-identical
+/// before reporting throughput.
+pub fn run_sweep_bench(seeds: usize) -> SweepBench {
+    let scenario = CrdtSync::chaotic();
+    let seed_list: Vec<u64> = (1..=seeds as u64).collect();
+    let (serial_secs, serial_report) = time(|| sweep(&scenario, &seed_list));
+    let pool = ParallelSweep::auto();
+    let (parallel_secs, parallel_report) = time(|| pool.sweep(&scenario, &seed_list));
+    assert_eq!(
+        serial_report, parallel_report,
+        "parallel sweep must be byte-identical to serial"
+    );
+    SweepBench {
+        seeds,
+        workers: pool.workers(),
+        serial_secs,
+        parallel_secs,
+    }
+}
+
+/// Run the full baseline: kernel, experiments, and a `seeds`-seed sweep.
+pub fn run_baseline(seeds: usize) -> Baseline {
+    Baseline {
+        cores: ParallelSweep::available_cores(),
+        kernel: run_kernel_benches(),
+        experiments: run_experiment_benches(),
+        sweep: run_sweep_bench(seeds),
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+impl Baseline {
+    /// Serialize to the `BENCH_baseline.json` schema (no external JSON
+    /// dependency — the build is offline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"faasim-bench/wallclock/1\",\n");
+        writeln!(out, "  \"cores\": {},", self.cores).unwrap();
+        out.push_str("  \"kernel\": [\n");
+        for (i, k) in self.kernel.iter().enumerate() {
+            let comma = if i + 1 < self.kernel.len() { "," } else { "" };
+            writeln!(
+                out,
+                "    {{\"name\": \"{}\", \"wall_secs\": {}, \"events\": {}, \"events_per_sec\": {}}}{comma}",
+                k.name,
+                json_f64(k.wall_secs),
+                k.events,
+                json_f64(k.events_per_sec()),
+            )
+            .unwrap();
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"experiments\": [\n");
+        for (i, e) in self.experiments.iter().enumerate() {
+            let comma = if i + 1 < self.experiments.len() { "," } else { "" };
+            writeln!(
+                out,
+                "    {{\"name\": \"{}\", \"wall_secs\": {}}}{comma}",
+                e.name,
+                json_f64(e.wall_secs),
+            )
+            .unwrap();
+        }
+        out.push_str("  ],\n");
+        let s = &self.sweep;
+        out.push_str("  \"sweep\": {\n");
+        writeln!(out, "    \"scenario\": \"crdt-sync/chaotic\",").unwrap();
+        writeln!(out, "    \"seeds\": {},", s.seeds).unwrap();
+        writeln!(out, "    \"workers\": {},", s.workers).unwrap();
+        writeln!(out, "    \"serial_secs\": {},", json_f64(s.serial_secs)).unwrap();
+        writeln!(out, "    \"parallel_secs\": {},", json_f64(s.parallel_secs)).unwrap();
+        writeln!(
+            out,
+            "    \"serial_seeds_per_sec\": {},",
+            json_f64(s.serial_seeds_per_sec())
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "    \"parallel_seeds_per_sec\": {},",
+            json_f64(s.parallel_seeds_per_sec())
+        )
+        .unwrap();
+        writeln!(out, "    \"speedup\": {}", json_f64(s.speedup())).unwrap();
+        out.push_str("  }\n");
+        out.push_str("}\n");
+        out
+    }
+
+    /// Human-readable table, printed by the bench target.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "wall-clock baseline ({} core(s))", self.cores).unwrap();
+        writeln!(out).unwrap();
+        writeln!(
+            out,
+            "{:<34} {:>10} {:>12} {:>14}",
+            "kernel bench", "wall (s)", "events", "events/sec"
+        )
+        .unwrap();
+        for k in &self.kernel {
+            writeln!(
+                out,
+                "{:<34} {:>10.3} {:>12} {:>14.0}",
+                k.name,
+                k.wall_secs,
+                k.events,
+                k.events_per_sec()
+            )
+            .unwrap();
+        }
+        writeln!(out).unwrap();
+        writeln!(out, "{:<34} {:>10}", "experiment (quick)", "wall (s)").unwrap();
+        for e in &self.experiments {
+            writeln!(out, "{:<34} {:>10.3}", e.name, e.wall_secs).unwrap();
+        }
+        writeln!(out).unwrap();
+        let s = &self.sweep;
+        writeln!(
+            out,
+            "sweep: {} seeds  serial {:.3}s ({:.1} seeds/s)  parallel[{} workers] {:.3}s ({:.1} seeds/s)  speedup {:.2}x",
+            s.seeds,
+            s.serial_secs,
+            s.serial_seeds_per_sec(),
+            s.workers,
+            s.parallel_secs,
+            s.parallel_seeds_per_sec(),
+            s.speedup()
+        )
+        .unwrap();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_json_is_well_formed() {
+        // A tiny baseline (2-seed sweep) to keep the test fast; the JSON
+        // must contain every section and balanced braces/brackets.
+        let b = Baseline {
+            cores: 4,
+            kernel: vec![KernelBench {
+                name: "kernel/x".into(),
+                wall_secs: 0.5,
+                events: 1000,
+            }],
+            experiments: vec![ExperimentBench {
+                name: "table1".into(),
+                wall_secs: 0.25,
+            }],
+            sweep: SweepBench {
+                seeds: 2,
+                workers: 4,
+                serial_secs: 1.0,
+                parallel_secs: 0.5,
+            },
+        };
+        let json = b.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for key in [
+            "\"schema\"",
+            "\"cores\"",
+            "\"kernel\"",
+            "\"events_per_sec\"",
+            "\"experiments\"",
+            "\"sweep\"",
+            "\"speedup\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.contains("\"speedup\": 2.000000"));
+        let table = b.render();
+        assert!(table.contains("speedup 2.00x"), "{table}");
+    }
+
+    #[test]
+    fn kernel_events_per_sec_handles_zero_wall() {
+        let k = KernelBench {
+            name: "kernel/x".into(),
+            wall_secs: 0.0,
+            events: 10,
+        };
+        assert_eq!(k.events_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn sweep_bench_runs_and_matches_serial() {
+        // Smoke: 3 seeds through the real scenario, serial vs parallel.
+        let b = run_sweep_bench(3);
+        assert_eq!(b.seeds, 3);
+        assert!(b.serial_secs > 0.0 && b.parallel_secs > 0.0);
+    }
+}

@@ -21,6 +21,11 @@
 //!   twice to prove the run is deterministic (byte-identical recorder
 //!   digest and bill), checks invariants, and reports the minimal
 //!   failing seed so a failure is a one-liner to reproduce.
+//! - [`ParallelSweep`] is the multi-core twin of [`sweep`]: each
+//!   single-threaded DES instance is a pure function of its seed, so
+//!   seeds fan out across `std::thread` workers and reassemble in seed
+//!   order — the report is byte-identical to the serial path, just
+//!   faster.
 //!
 //! Every random draw comes from the simulation's named RNG streams, and
 //! every fault hook only consumes randomness when its probability is
@@ -33,6 +38,7 @@
 mod clients;
 mod faults;
 mod invariants;
+mod parallel;
 mod retry;
 mod scenarios;
 mod sweep;
@@ -40,6 +46,7 @@ mod sweep;
 pub use clients::{RetryingBlob, RetryingKv};
 pub use faults::{FaultPlan, PartitionWindow};
 pub use invariants::{check_cloud, ledger_consistent, message_conservation};
+pub use parallel::ParallelSweep;
 pub use retry::{RetryError, RetryPolicy};
 pub use scenarios::{CrdtSync, QueuePipeline};
 pub use sweep::{sweep, RunReport, Scenario, SeedReport, SweepReport};

@@ -27,7 +27,7 @@ pub trait Scenario {
 }
 
 /// The outcome at one seed.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SeedReport {
     /// The seed swept.
     pub seed: u64,
@@ -42,8 +42,9 @@ impl SeedReport {
     }
 }
 
-/// The outcome of a whole sweep.
-#[derive(Clone, Debug)]
+/// The outcome of a whole sweep. Comparable with `==` so the parallel
+/// engine can be asserted byte-identical to the serial path.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SweepReport {
     /// The scenario's name.
     pub scenario: String,

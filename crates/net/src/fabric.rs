@@ -231,7 +231,7 @@ impl Fabric {
         let mut latency = model.sample(&mut rng);
         let faults = self.inner.faults.borrow();
         if faults.delay_spike_prob > 0.0 && rng.chance(faults.delay_spike_prob) {
-            latency = latency + faults.delay_spike.sample(&mut rng);
+            latency += faults.delay_spike.sample(&mut rng);
             self.inner.recorder.incr("net.chaos_delay_spikes");
         }
         latency

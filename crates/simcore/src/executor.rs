@@ -13,7 +13,7 @@
 
 use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
@@ -26,9 +26,25 @@ use parking_lot::Mutex;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
-/// Identifier of a spawned task.
+/// Identifier of a spawned task: a slab slot index in the low 32 bits and
+/// the slot's generation in the high 32, so recycled slots never confuse
+/// a stale wake with a new task.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct TaskId(u64);
+
+impl TaskId {
+    fn pack(index: u32, gen: u32) -> TaskId {
+        TaskId((u64::from(gen) << 32) | u64::from(index))
+    }
+
+    fn index(self) -> usize {
+        (self.0 & 0xffff_ffff) as usize
+    }
+
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
 
 /// Queue of tasks that have been woken and await polling.
 ///
@@ -53,18 +69,24 @@ impl Wake for TaskWaker {
     }
 }
 
-enum TimerAction {
-    Wake(Waker, Rc<Cell<bool>>),
-    Call(Box<dyn FnOnce()>),
+/// Handle to a pending wake-timer's cancel flag in the timer-flag slab.
+/// Replaces a per-sleep `Rc<Cell<bool>>` allocation: cancelling is a flag
+/// write into a recycled slot, guarded by a generation check.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct TimerToken {
+    index: u32,
+    gen: u32,
 }
 
-impl TimerAction {
-    fn is_canceled(&self) -> bool {
-        match self {
-            TimerAction::Wake(_, canceled) => canceled.get(),
-            TimerAction::Call(_) => false,
-        }
-    }
+#[derive(Copy, Clone, Default)]
+struct TimerFlag {
+    gen: u32,
+    canceled: bool,
+}
+
+enum TimerAction {
+    Wake(Waker, TimerToken),
+    Call(Box<dyn FnOnce()>),
 }
 
 struct TimerEntry {
@@ -92,15 +114,32 @@ impl Ord for TimerEntry {
 
 type BoxedTask = Pin<Box<dyn Future<Output = ()>>>;
 
+/// One slab slot. The waker is built once at spawn and reused for every
+/// poll of the task, instead of a fresh `Arc` per poll. The future is
+/// `None` while being polled (it is temporarily moved out so the poll may
+/// reborrow the task table, e.g. to spawn).
+struct TaskSlot {
+    gen: u32,
+    fut: Option<BoxedTask>,
+    waker: Waker,
+}
+
+enum Slot {
+    /// Free slot; remembers the generation the next occupant will get.
+    Vacant { next_gen: u32 },
+    Occupied(TaskSlot),
+}
+
 struct Inner {
     now: Cell<SimTime>,
     seq: Cell<u64>,
     timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    timer_flags: RefCell<Vec<TimerFlag>>,
+    timer_free: RefCell<Vec<u32>>,
     ready: Arc<ReadyQueue>,
-    /// `None` while a task is being polled (the future is temporarily moved
-    /// out so the poll may reborrow the task table, e.g. to spawn).
-    tasks: RefCell<HashMap<TaskId, Option<BoxedTask>>>,
-    next_task: Cell<u64>,
+    tasks: RefCell<Vec<Slot>>,
+    task_free: RefCell<Vec<u32>>,
+    tasks_alive: Cell<usize>,
     seed: u64,
     events_processed: Cell<u64>,
     tasks_spawned: Cell<u64>,
@@ -143,11 +182,14 @@ impl Sim {
                 now: Cell::new(SimTime::ZERO),
                 seq: Cell::new(0),
                 timers: RefCell::new(BinaryHeap::new()),
+                timer_flags: RefCell::new(Vec::new()),
+                timer_free: RefCell::new(Vec::new()),
                 ready: Arc::new(ReadyQueue {
                     queue: Mutex::new(VecDeque::new()),
                 }),
-                tasks: RefCell::new(HashMap::new()),
-                next_task: Cell::new(0),
+                tasks: RefCell::new(Vec::new()),
+                task_free: RefCell::new(Vec::new()),
+                tasks_alive: Cell::new(0),
                 seed,
                 events_processed: Cell::new(0),
                 tasks_spawned: Cell::new(0),
@@ -179,7 +221,7 @@ impl Sim {
         SimStats {
             events_processed: self.inner.events_processed.get(),
             tasks_spawned: self.inner.tasks_spawned.get(),
-            tasks_alive: self.inner.tasks.borrow().len(),
+            tasks_alive: self.inner.tasks_alive.get(),
         }
     }
 
@@ -196,9 +238,8 @@ impl Sim {
         F: Future<Output = T> + 'static,
         T: 'static,
     {
-        let id = TaskId(self.inner.next_task.get());
-        self.inner.next_task.set(id.0 + 1);
         self.inner.tasks_spawned.set(self.inner.tasks_spawned.get() + 1);
+        self.inner.tasks_alive.set(self.inner.tasks_alive.get() + 1);
 
         let state: Rc<RefCell<JoinState<T>>> = Rc::new(RefCell::new(JoinState {
             result: None,
@@ -216,24 +257,97 @@ impl Sim {
                 w.wake();
             }
         });
-        self.inner.tasks.borrow_mut().insert(id, Some(wrapped));
+        let id = {
+            let mut tasks = self.inner.tasks.borrow_mut();
+            let (index, gen) = match self.inner.task_free.borrow_mut().pop() {
+                Some(index) => {
+                    let gen = match tasks[index as usize] {
+                        Slot::Vacant { next_gen } => next_gen,
+                        Slot::Occupied(_) => unreachable!("free list holds vacant slots"),
+                    };
+                    (index, gen)
+                }
+                None => {
+                    tasks.push(Slot::Vacant { next_gen: 0 });
+                    ((tasks.len() - 1) as u32, 0)
+                }
+            };
+            let id = TaskId::pack(index, gen);
+            let waker = Waker::from(Arc::new(TaskWaker {
+                ready: self.inner.ready.clone(),
+                id,
+            }));
+            tasks[index as usize] = Slot::Occupied(TaskSlot {
+                gen,
+                fut: Some(wrapped),
+                waker,
+            });
+            id
+        };
         self.inner.ready.queue.lock().push_back(id);
         JoinHandle { state, id }
     }
 
     /// Register a waker to fire at virtual instant `at` (clamped to now).
-    /// Setting the returned flag cancels the wakeup: the entry is discarded
-    /// lazily without advancing the clock to it.
-    pub(crate) fn register_wake_at(&self, at: SimTime, waker: Waker) -> Rc<Cell<bool>> {
+    /// [`Sim::cancel_wake`] with the returned token cancels the wakeup: the
+    /// entry is discarded lazily without advancing the clock to it.
+    pub(crate) fn register_wake_at(&self, at: SimTime, waker: Waker) -> TimerToken {
         let at = at.max(self.now());
         let seq = self.next_seq();
-        let canceled = Rc::new(Cell::new(false));
+        let token = {
+            let mut flags = self.inner.timer_flags.borrow_mut();
+            match self.inner.timer_free.borrow_mut().pop() {
+                Some(index) => {
+                    flags[index as usize].canceled = false;
+                    TimerToken {
+                        index,
+                        gen: flags[index as usize].gen,
+                    }
+                }
+                None => {
+                    flags.push(TimerFlag::default());
+                    TimerToken {
+                        index: (flags.len() - 1) as u32,
+                        gen: 0,
+                    }
+                }
+            }
+        };
         self.inner.timers.borrow_mut().push(Reverse(TimerEntry {
             at,
             seq,
-            action: TimerAction::Wake(waker, canceled.clone()),
+            action: TimerAction::Wake(waker, token),
         }));
-        canceled
+        token
+    }
+
+    /// Cancel a pending wake-timer. A stale token (the timer already fired
+    /// and its slot was recycled) is a no-op.
+    pub(crate) fn cancel_wake(&self, token: TimerToken) {
+        let mut flags = self.inner.timer_flags.borrow_mut();
+        let flag = &mut flags[token.index as usize];
+        if flag.gen == token.gen {
+            flag.canceled = true;
+        }
+    }
+
+    fn timer_is_canceled(&self, action: &TimerAction) -> bool {
+        match action {
+            TimerAction::Wake(_, token) => {
+                self.inner.timer_flags.borrow()[token.index as usize].canceled
+            }
+            TimerAction::Call(_) => false,
+        }
+    }
+
+    /// Return a fired or discarded wake-timer's flag slot to the free list.
+    fn release_timer(&self, action: &TimerAction) {
+        if let TimerAction::Wake(_, token) = action {
+            let mut flags = self.inner.timer_flags.borrow_mut();
+            flags[token.index as usize].gen = flags[token.index as usize].gen.wrapping_add(1);
+            flags[token.index as usize].canceled = false;
+            self.inner.timer_free.borrow_mut().push(token.index);
+        }
     }
 
     /// Run `f` at virtual instant `at` (clamped to now). Callbacks fire in
@@ -297,30 +411,41 @@ impl Sim {
     }
 
     fn poll_task(&self, id: TaskId) {
-        let fut = {
+        let (mut fut, waker) = {
             let mut tasks = self.inner.tasks.borrow_mut();
-            match tasks.get_mut(&id) {
-                Some(slot) => slot.take(),
-                None => None,
+            match tasks.get_mut(id.index()) {
+                // The slot must still be this task's generation: a stale
+                // wake of a recycled slot must not poll the new occupant.
+                Some(Slot::Occupied(slot)) if slot.gen == id.gen() => {
+                    match slot.fut.take() {
+                        Some(fut) => (fut, slot.waker.clone()),
+                        // Mid-poll re-entry: nothing to do.
+                        None => return,
+                    }
+                }
+                // Already finished or duplicate wake: nothing to do.
+                _ => return,
             }
         };
-        // Already finished, mid-poll re-entry, or duplicate wake: nothing to do.
-        let Some(mut fut) = fut else { return };
         self.inner
             .events_processed
             .set(self.inner.events_processed.get() + 1);
-        let waker = Waker::from(Arc::new(TaskWaker {
-            ready: self.inner.ready.clone(),
-            id,
-        }));
         let mut cx = Context::from_waker(&waker);
         match fut.as_mut().poll(&mut cx) {
             Poll::Ready(()) => {
-                self.inner.tasks.borrow_mut().remove(&id);
+                let mut tasks = self.inner.tasks.borrow_mut();
+                tasks[id.index()] = Slot::Vacant {
+                    next_gen: id.gen().wrapping_add(1),
+                };
+                self.inner.task_free.borrow_mut().push(id.index() as u32);
+                self.inner.tasks_alive.set(self.inner.tasks_alive.get() - 1);
             }
             Poll::Pending => {
-                if let Some(slot) = self.inner.tasks.borrow_mut().get_mut(&id) {
-                    *slot = Some(fut);
+                let mut tasks = self.inner.tasks.borrow_mut();
+                if let Some(Slot::Occupied(slot)) = tasks.get_mut(id.index()) {
+                    if slot.gen == id.gen() {
+                        slot.fut = Some(fut);
+                    }
                 }
             }
         }
@@ -342,14 +467,18 @@ impl Sim {
         // Discard canceled entries at the head so they cannot drag the
         // clock forward.
         let at = {
-            let mut timers = self.inner.timers.borrow_mut();
             loop {
-                match timers.peek() {
-                    Some(Reverse(e)) if e.action.is_canceled() => {
-                        timers.pop();
+                let canceled = {
+                    let timers = self.inner.timers.borrow();
+                    match timers.peek() {
+                        Some(Reverse(e)) if self.timer_is_canceled(&e.action) => true,
+                        Some(Reverse(e)) => break e.at,
+                        None => return false,
                     }
-                    Some(Reverse(e)) => break e.at,
-                    None => return false,
+                };
+                debug_assert!(canceled);
+                if let Some(Reverse(e)) = self.inner.timers.borrow_mut().pop() {
+                    self.release_timer(&e.action);
                 }
             }
         };
@@ -370,9 +499,11 @@ impl Sim {
             self.inner
                 .events_processed
                 .set(self.inner.events_processed.get() + 1);
+            let canceled = self.timer_is_canceled(&entry.action);
+            self.release_timer(&entry.action);
             match entry.action {
-                TimerAction::Wake(w, canceled) => {
-                    if !canceled.get() {
+                TimerAction::Wake(w, _) => {
+                    if !canceled {
                         w.wake();
                     }
                 }
@@ -476,7 +607,7 @@ impl<T> Future for JoinHandle<T> {
 pub struct Sleep {
     sim: Sim,
     deadline: SimTime,
-    cancel: Option<Rc<Cell<bool>>>,
+    cancel: Option<TimerToken>,
     fired: bool,
 }
 
@@ -509,8 +640,8 @@ impl Future for Sleep {
 impl Drop for Sleep {
     fn drop(&mut self) {
         if !self.fired {
-            if let Some(c) = &self.cancel {
-                c.set(true);
+            if let Some(token) = self.cancel {
+                self.sim.cancel_wake(token);
             }
         }
     }

@@ -56,6 +56,12 @@ struct Flow {
 struct LinkState {
     capacity_bps: Bps,
     flows: BTreeMap<u64, Flow>,
+    /// Flow ids sorted by `(cap, id)` — the water-filling order. Kept
+    /// incrementally: joins binary-search-insert, departures are dropped
+    /// lazily (and compacted when stale entries dominate), so a
+    /// reallocation is a single allocation-free pass instead of a
+    /// collect + sort of every active flow.
+    order: Vec<(f64, u64)>,
     next_flow: u64,
     last_update: SimTime,
     epoch: u64,
@@ -83,30 +89,39 @@ impl LinkState {
         }
     }
 
-    /// Max–min fair allocation with per-flow caps (water-filling).
+    /// Register `id` in the water-filling order (cap ascending, uncapped
+    /// last, id breaking ties — identical to a full sort's order).
+    fn order_insert(&mut self, id: u64, cap: Option<Bps>) {
+        let key = cap.unwrap_or(f64::INFINITY);
+        let pos = self
+            .order
+            .partition_point(|&(c, i)| c < key || (c == key && i < id));
+        self.order.insert(pos, (key, id));
+    }
+
+    /// Max–min fair allocation with per-flow caps (water-filling), as one
+    /// pass over the pre-sorted order.
     fn reallocate(&mut self) {
-        let active: Vec<u64> = self
-            .flows
-            .iter()
-            .filter(|(_, f)| !f.done)
-            .map(|(&id, _)| id)
-            .collect();
-        if active.is_empty() {
+        // Compact lazily: entries for reaped flows are skipped below, but
+        // once they outnumber live ones, drop them (retain keeps order).
+        if self.order.len() > 2 * self.flows.len() {
+            let flows = &self.flows;
+            self.order.retain(|&(_, id)| flows.contains_key(&id));
+        }
+        let mut n_left = self.flows.values().filter(|f| !f.done).count();
+        if n_left == 0 {
             return;
         }
-        // Sort by cap ascending (uncapped last); BTreeMap id order breaks
-        // ties deterministically.
-        let mut by_cap: Vec<u64> = active.clone();
-        by_cap.sort_by(|a, b| {
-            let ca = self.flows[a].cap_bps.unwrap_or(f64::INFINITY);
-            let cb = self.flows[b].cap_bps.unwrap_or(f64::INFINITY);
-            ca.partial_cmp(&cb).unwrap().then(a.cmp(b))
-        });
         let mut remaining = self.capacity_bps;
-        let mut n_left = by_cap.len();
-        for id in by_cap {
+        for i in 0..self.order.len() {
+            let id = self.order[i].1;
+            let Some(flow) = self.flows.get_mut(&id) else {
+                continue; // reaped; compacted eventually
+            };
+            if flow.done {
+                continue;
+            }
             let fair = remaining / n_left as f64;
-            let flow = self.flows.get_mut(&id).expect("active flow");
             let rate = match flow.cap_bps {
                 Some(cap) => cap.min(fair),
                 None => fair,
@@ -114,6 +129,9 @@ impl LinkState {
             flow.rate_bps = rate;
             remaining -= rate;
             n_left -= 1;
+            if n_left == 0 {
+                break;
+            }
         }
     }
 
@@ -162,6 +180,7 @@ impl FairShareLink {
             st: Rc::new(RefCell::new(LinkState {
                 capacity_bps,
                 flows: BTreeMap::new(),
+                order: Vec::new(),
                 next_flow: 0,
                 last_update: sim.now(),
                 epoch: 0,
@@ -255,6 +274,7 @@ impl FairShareLink {
                     done: false,
                 },
             );
+            st.order_insert(id, cap);
             id
         };
         self.on_change();
@@ -524,6 +544,58 @@ mod tests {
         });
         let t = sim.now().as_secs_f64();
         assert!((t - 3.0).abs() < 1e-5, "took {t}s");
+    }
+
+    #[test]
+    fn heavy_churn_with_mixed_caps_stays_fair() {
+        // Exercises the incremental order vec: staggered joins (binary
+        // search insert), cancels and completions (lazy removal), and
+        // enough turnover to trigger compaction.
+        let sim = Sim::new(1);
+        let link = FairShareLink::new(&sim, mbps(100.0));
+        for i in 0..60u64 {
+            let l = link.clone();
+            let s = sim.clone();
+            sim.spawn(async move {
+                s.sleep(SimDuration::from_millis(i * 7)).await;
+                let cap = if i % 3 == 0 { Some(mbps(5.0)) } else { None };
+                if i % 5 == 0 {
+                    // Some transfers are abandoned mid-flight.
+                    s.timeout(SimDuration::from_millis(40), l.transfer(2_000_000, cap))
+                        .await;
+                } else {
+                    l.transfer(200_000, cap).await;
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(link.active_flows(), 0);
+        assert!(sim.now() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn churn_replays_byte_identically() {
+        fn run() -> String {
+            let sim = Sim::new(7);
+            let link = FairShareLink::new(&sim, mbps(80.0));
+            let log = Rc::new(RefCell::new(String::new()));
+            for i in 0..25u64 {
+                let l = link.clone();
+                let s = sim.clone();
+                let log = log.clone();
+                sim.spawn(async move {
+                    s.sleep(SimDuration::from_millis(i * 3)).await;
+                    let cap = if i % 2 == 0 { Some(mbps(3.0)) } else { None };
+                    l.transfer(100_000 + i * 10_000, cap).await;
+                    log.borrow_mut()
+                        .push_str(&format!("{i}@{}\n", s.now().as_nanos()));
+                });
+            }
+            sim.run();
+            let out = log.borrow().clone();
+            out
+        }
+        assert_eq!(run(), run());
     }
 
     #[test]

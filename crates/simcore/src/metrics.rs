@@ -5,9 +5,15 @@
 //! histogram keeps raw samples (experiments here record at most a few
 //! hundred thousand), which makes quantiles exact and the determinism
 //! tests trivial: identical runs produce identical sample vectors.
+//!
+//! Metric names are interned: the first `record`/`add` under a name pays
+//! one allocation to register it, and every subsequent hit is a hash
+//! lookup into a `u32` handle — no per-record `String` allocation, no
+//! `BTreeMap` walk. Hot call sites can hoist even the hash lookup out of
+//! their loop with [`Recorder::hist_id`] / [`Recorder::counter_id`].
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -158,6 +164,71 @@ impl PipeFinite for f64 {
     }
 }
 
+/// Interned handle to a histogram series (see [`Recorder::hist_id`]).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct HistId(u32);
+
+/// Interned handle to a counter series (see [`Recorder::counter_id`]).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CounterId(u32);
+
+/// One side of the registry: an intern table from name to `u32` handle
+/// plus the values, indexed by handle.
+struct Series<T> {
+    index: HashMap<Box<str>, u32>,
+    names: Vec<Box<str>>,
+    values: Vec<T>,
+}
+
+impl<T> Default for Series<T> {
+    fn default() -> Series<T> {
+        Series {
+            index: HashMap::new(),
+            names: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+}
+
+impl<T: Default> Series<T> {
+    /// Handle for `name`, interning it on first use. The fast path is a
+    /// single hash lookup with no allocation.
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.index.insert(Box::from(name), id);
+        self.names.push(Box::from(name));
+        self.values.push(T::default());
+        id
+    }
+
+    fn get(&self, name: &str) -> Option<&T> {
+        self.index.get(name).map(|&id| &self.values[id as usize])
+    }
+
+    /// Handles in name-sorted order, so reports stay byte-identical to
+    /// the old `BTreeMap` layout regardless of interning order.
+    fn sorted_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = (0..self.names.len() as u32).collect();
+        ids.sort_by(|&a, &b| self.names[a as usize].cmp(&self.names[b as usize]));
+        ids
+    }
+
+    fn sorted_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.names.iter().map(|n| n.to_string()).collect();
+        names.sort();
+        names
+    }
+
+    fn clear(&mut self) {
+        self.index.clear();
+        self.names.clear();
+        self.values.clear();
+    }
+}
+
 /// A shared registry of named histograms and counters.
 ///
 /// Names are free-form; the convention in this workspace is
@@ -169,8 +240,8 @@ pub struct Recorder {
 
 #[derive(Default)]
 struct RecorderInner {
-    histograms: BTreeMap<String, Histogram>,
-    counters: BTreeMap<String, u64>,
+    histograms: Series<Histogram>,
+    counters: Series<u64>,
 }
 
 impl Recorder {
@@ -179,14 +250,27 @@ impl Recorder {
         Recorder::default()
     }
 
+    /// Interned handle for histogram `name`; lets hot loops skip the
+    /// per-record name lookup entirely via [`Recorder::record_id`].
+    pub fn hist_id(&self, name: &str) -> HistId {
+        HistId(self.inner.borrow_mut().histograms.intern(name))
+    }
+
+    /// Interned handle for counter `name` (see [`Recorder::add_id`]).
+    pub fn counter_id(&self, name: &str) -> CounterId {
+        CounterId(self.inner.borrow_mut().counters.intern(name))
+    }
+
     /// Record a floating-point sample under `name`.
     pub fn record(&self, name: &str, v: f64) {
-        self.inner
-            .borrow_mut()
-            .histograms
-            .entry(name.to_owned())
-            .or_default()
-            .record(v);
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.histograms.intern(name);
+        inner.histograms.values[id as usize].record(v);
+    }
+
+    /// Record a sample under a pre-interned handle — no name lookup.
+    pub fn record_id(&self, id: HistId, v: f64) {
+        self.inner.borrow_mut().histograms.values[id.0 as usize].record(v);
     }
 
     /// Record a duration sample (stored in seconds) under `name`.
@@ -194,19 +278,31 @@ impl Recorder {
         self.record(name, d.as_secs_f64());
     }
 
+    /// Record a duration under a pre-interned handle.
+    pub fn record_duration_id(&self, id: HistId, d: SimDuration) {
+        self.record_id(id, d.as_secs_f64());
+    }
+
     /// Add `n` to the counter `name`.
     pub fn add(&self, name: &str, n: u64) {
-        *self
-            .inner
-            .borrow_mut()
-            .counters
-            .entry(name.to_owned())
-            .or_default() += n;
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.counters.intern(name);
+        inner.counters.values[id as usize] += n;
+    }
+
+    /// Add `n` under a pre-interned handle — no name lookup.
+    pub fn add_id(&self, id: CounterId, n: u64) {
+        self.inner.borrow_mut().counters.values[id.0 as usize] += n;
     }
 
     /// Increment the counter `name`.
     pub fn incr(&self, name: &str) {
         self.add(name, 1);
+    }
+
+    /// Increment under a pre-interned handle.
+    pub fn incr_id(&self, id: CounterId) {
+        self.add_id(id, 1);
     }
 
     /// Current value of counter `name` (0 if never touched).
@@ -236,15 +332,16 @@ impl Recorder {
 
     /// All histogram names with at least one sample, sorted.
     pub fn histogram_names(&self) -> Vec<String> {
-        self.inner.borrow().histograms.keys().cloned().collect()
+        self.inner.borrow().histograms.sorted_names()
     }
 
     /// All counter names, sorted.
     pub fn counter_names(&self) -> Vec<String> {
-        self.inner.borrow().counters.keys().cloned().collect()
+        self.inner.borrow().counters.sorted_names()
     }
 
-    /// Drop all recorded data.
+    /// Drop all recorded data. Interned handles from before the reset are
+    /// invalidated; re-intern after resetting.
     pub fn reset(&self) {
         let mut inner = self.inner.borrow_mut();
         inner.histograms.clear();
@@ -258,15 +355,17 @@ impl Recorder {
         use fmt::Write;
         let inner = self.inner.borrow();
         let mut out = String::new();
-        if !inner.histograms.is_empty() {
+        let hist_ids = inner.histograms.sorted_ids();
+        if !hist_ids.is_empty() {
             writeln!(
                 out,
                 "{:<28} {:>8} {:>12} {:>12} {:>12} {:>12}",
                 "histogram", "n", "mean", "p50", "p95", "p99"
             )
             .unwrap();
-            for (name, h) in &inner.histograms {
-                let mut h = h.clone();
+            for id in hist_ids {
+                let name = &inner.histograms.names[id as usize];
+                let mut h = inner.histograms.values[id as usize].clone();
                 writeln!(
                     out,
                     "{:<28} {:>8} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
@@ -280,9 +379,12 @@ impl Recorder {
                 .unwrap();
             }
         }
-        if !inner.counters.is_empty() {
+        let counter_ids = inner.counters.sorted_ids();
+        if !counter_ids.is_empty() {
             writeln!(out, "{:<28} {:>8}", "counter", "value").unwrap();
-            for (name, count) in &inner.counters {
+            for id in counter_ids {
+                let name = &inner.counters.names[id as usize];
+                let count = inner.counters.values[id as usize];
                 writeln!(out, "{name:<28} {count:>8}").unwrap();
             }
         }
@@ -295,10 +397,14 @@ impl Recorder {
         let inner = self.inner.borrow();
         let mut out = String::new();
         use fmt::Write;
-        for (name, count) in &inner.counters {
+        for id in inner.counters.sorted_ids() {
+            let name = &inner.counters.names[id as usize];
+            let count = inner.counters.values[id as usize];
             writeln!(out, "counter {name} = {count}").unwrap();
         }
-        for (name, h) in &inner.histograms {
+        for id in inner.histograms.sorted_ids() {
+            let name = &inner.histograms.names[id as usize];
+            let h = &inner.histograms.values[id as usize];
             writeln!(
                 out,
                 "hist {name}: n={} mean={:.9} min={:.9} max={:.9}",
@@ -430,5 +536,42 @@ mod tests {
         let r2 = r.clone();
         r2.incr("shared");
         assert_eq!(r.counter("shared"), 1);
+    }
+
+    #[test]
+    fn interned_ids_alias_names() {
+        let r = Recorder::new();
+        let h = r.hist_id("lat");
+        let c = r.counter_id("hits");
+        r.record_id(h, 1.0);
+        r.record("lat", 3.0);
+        r.record_duration_id(h, SimDuration::from_secs(5));
+        r.incr_id(c);
+        r.add_id(c, 2);
+        r.add("hits", 4);
+        assert_eq!(r.histogram("lat").count(), 3);
+        assert_eq!(r.histogram("lat").mean(), 3.0);
+        assert_eq!(r.counter("hits"), 7);
+        // Re-interning the same name yields the same handle.
+        assert_eq!(r.hist_id("lat"), h);
+        assert_eq!(r.counter_id("hits"), c);
+    }
+
+    #[test]
+    fn digest_is_name_sorted_regardless_of_interning_order() {
+        let r = Recorder::new();
+        r.record("zzz", 1.0);
+        r.record("aaa", 2.0);
+        r.incr("m");
+        r.incr("b");
+        let d = r.digest();
+        let aaa = d.find("hist aaa").unwrap();
+        let zzz = d.find("hist zzz").unwrap();
+        assert!(aaa < zzz, "{d}");
+        let b = d.find("counter b").unwrap();
+        let m = d.find("counter m").unwrap();
+        assert!(b < m, "{d}");
+        assert_eq!(r.histogram_names(), vec!["aaa", "zzz"]);
+        assert_eq!(r.counter_names(), vec!["b", "m"]);
     }
 }

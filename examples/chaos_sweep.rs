@@ -1,27 +1,76 @@
 //! Seed-sweep chaos harness: run the two chaotic scenarios — CRDT
-//! anti-entropy sync and the queue-triggered pipeline — across 16 seeds
+//! anti-entropy sync and the queue-triggered pipeline — across many seeds
 //! each, checking every invariant (message conservation, ledger
 //! consistency, CRDT convergence, exact delivery) and that each seed
 //! replays byte-identically. Exits nonzero on any violation and prints
 //! the minimal failing seed so the run can be reproduced in isolation.
 //!
+//! Seeds fan out across every available core via `ParallelSweep`; the
+//! report is byte-identical to a serial sweep, and each scenario line
+//! ends with its wall-clock throughput in seeds/sec.
+//!
 //! ```text
-//! cargo run --release --example chaos_sweep
+//! cargo run --release --example chaos_sweep              # 16 seeds
+//! cargo run --release --example chaos_sweep -- --seeds 8 # CI smoke
+//! cargo run --release --example chaos_sweep -- --serial  # one core
 //! ```
+//!
+//! `CHAOS_SEEDS=<n>` is honoured when no `--seeds` flag is given.
 
-use faasim_chaos::{sweep, CrdtSync, QueuePipeline, Scenario};
+use std::time::Instant;
+
+use faasim_chaos::{CrdtSync, ParallelSweep, QueuePipeline, Scenario};
+
+fn parse_args() -> (usize, bool) {
+    let mut seeds = std::env::var("CHAOS_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let mut serial = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seeds" => {
+                seeds = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seeds takes a positive integer");
+            }
+            "--serial" => serial = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: chaos_sweep [--seeds N] [--serial]");
+                std::process::exit(2);
+            }
+        }
+    }
+    (seeds, serial)
+}
 
 fn main() {
-    let seeds: Vec<u64> = (1..=16).collect();
-    let scenarios: Vec<Box<dyn Scenario>> = vec![
+    let (n_seeds, serial) = parse_args();
+    let seeds: Vec<u64> = (1..=n_seeds as u64).collect();
+    let pool = if serial {
+        ParallelSweep::new(1)
+    } else {
+        ParallelSweep::auto()
+    };
+    let scenarios: Vec<Box<dyn Scenario + Sync>> = vec![
         Box::new(CrdtSync::chaotic()),
         Box::new(QueuePipeline::chaotic()),
     ];
 
     let mut failed = false;
     for scenario in &scenarios {
-        let report = sweep(scenario.as_ref(), &seeds);
-        println!("{report}");
+        let start = Instant::now();
+        let report = pool.sweep(scenario.as_ref(), &seeds);
+        let wall = start.elapsed().as_secs_f64();
+        print!("{report}");
+        println!(
+            "  {:.1} seeds/sec over {} worker(s), {wall:.3}s wall",
+            seeds.len() as f64 / wall.max(1e-9),
+            pool.workers(),
+        );
         if !report.passed() {
             failed = true;
             if let Some(seed) = report.minimal_failing_seed() {

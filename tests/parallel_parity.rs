@@ -1,0 +1,92 @@
+//! Serial-vs-parallel parity: fanning seeds across worker threads must
+//! change wall-clock only, never bytes. The same seed set through
+//! `sweep` and `ParallelSweep` yields identical `SweepReport`s, and
+//! experiment probe digests fanned out via `ParallelSweep::map` match
+//! the serial run exactly.
+
+use faasim::experiments::{cold_starts, table1, training};
+use faasim_chaos::{sweep, CrdtSync, ParallelSweep, QueuePipeline, Scenario};
+
+#[test]
+fn chaos_sweep_parallel_matches_serial_byte_for_byte() {
+    let seeds: Vec<u64> = (1..=12).collect();
+    let scenarios: Vec<Box<dyn Scenario + Sync>> = vec![
+        Box::new(CrdtSync::chaotic()),
+        Box::new(QueuePipeline::chaotic()),
+    ];
+    for scenario in &scenarios {
+        let serial = sweep(scenario.as_ref(), &seeds);
+        for workers in [2, 4] {
+            let parallel = ParallelSweep::new(workers).sweep(scenario.as_ref(), &seeds);
+            assert_eq!(
+                serial,
+                parallel,
+                "{} with {workers} workers must be byte-identical to serial",
+                scenario.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn experiment_probes_parallel_match_serial() {
+    let seeds: Vec<u64> = vec![3, 7, 11, 19];
+
+    let serial: Vec<_> = seeds
+        .iter()
+        .map(|&s| table1::run(&table1::Table1Params::quick(), s).probe)
+        .collect();
+    let parallel = ParallelSweep::new(4).map(&seeds, |s| {
+        table1::run(&table1::Table1Params::quick(), s).probe
+    });
+    assert_eq!(serial, parallel, "table1 probes must not depend on threading");
+
+    let serial: Vec<_> = seeds
+        .iter()
+        .map(|&s| training::run(&training::TrainingParams::quick(), s).probe)
+        .collect();
+    let parallel = ParallelSweep::new(4).map(&seeds, |s| {
+        training::run(&training::TrainingParams::quick(), s).probe
+    });
+    assert_eq!(serial, parallel, "training probes must not depend on threading");
+
+    let serial: Vec<_> = seeds
+        .iter()
+        .map(|&s| cold_starts::run(&cold_starts::ColdStartParams::quick(), s).probe)
+        .collect();
+    let parallel = ParallelSweep::new(4).map(&seeds, |s| {
+        cold_starts::run(&cold_starts::ColdStartParams::quick(), s).probe
+    });
+    assert_eq!(
+        serial, parallel,
+        "cold_starts probes must not depend on threading"
+    );
+}
+
+/// The fan-out speedup claim, gated on the hardware actually having the
+/// cores: on ≥ 4 cores a parallel sweep must beat serial by ≥ 2×. On
+/// smaller machines the parity assertions above still run; only the
+/// timing claim is skipped.
+#[test]
+fn parallel_sweep_speedup_on_multicore() {
+    let cores = ParallelSweep::available_cores();
+    if cores < 4 {
+        eprintln!("skipping speedup assertion: only {cores} core(s) available");
+        return;
+    }
+    let scenario = CrdtSync::chaotic();
+    let seeds: Vec<u64> = (1..=64).collect();
+    let t0 = std::time::Instant::now();
+    let serial = sweep(&scenario, &seeds);
+    let serial_secs = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let parallel = ParallelSweep::auto().sweep(&scenario, &seeds);
+    let parallel_secs = t1.elapsed().as_secs_f64();
+    assert_eq!(serial, parallel);
+    let speedup = serial_secs / parallel_secs.max(1e-9);
+    assert!(
+        speedup >= 2.0,
+        "expected >= 2x speedup on {cores} cores, got {speedup:.2}x \
+         (serial {serial_secs:.3}s, parallel {parallel_secs:.3}s)"
+    );
+}
