@@ -4,7 +4,7 @@
 CARGO ?= cargo
 export CARGO_NET_OFFLINE = true
 
-.PHONY: build test test-all chaos-sweep bench clean
+.PHONY: build test test-all chaos-sweep bench bench-compare clean
 
 ## Release build of the whole workspace.
 build:
@@ -34,6 +34,14 @@ chaos-sweep: test
 ## BENCH_baseline.json — the perf trajectory future PRs are gated on.
 bench:
 	$(CARGO) bench -p faasim-bench --bench wallclock
+
+## Regression gate: re-run the wall-clock suite and diff it against the
+## committed BENCH_baseline.json — kernel benches on events/sec,
+## experiments on wall-clock ratio. Fails (nonzero exit) if anything is
+## more than 25% slower (override with BENCH_COMPARE_TOLERANCE=<frac>);
+## shrink the sweep for smoke runs with BENCH_SWEEP_SEEDS=<n>.
+bench-compare:
+	$(CARGO) bench -p faasim-bench --bench bench_compare
 
 clean:
 	$(CARGO) clean

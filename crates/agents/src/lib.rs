@@ -20,7 +20,6 @@ use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
-use bytes::Bytes;
 use faasim_net::{Addr, Fabric, Host, Message, NetError, Socket};
 use faasim_simcore::{LatencyModel, Recorder, Sim, SimDuration};
 
@@ -200,7 +199,7 @@ impl Agent {
     /// Fire-and-forget message to a named agent. Resolution is cached; a
     /// message sent on a stale cache entry is silently lost (use
     /// [`Agent::request`] when delivery must be confirmed).
-    pub async fn send(&self, to: &str, payload: Bytes) -> Result<(), AgentError> {
+    pub async fn send(&self, to: &str, payload: impl Into<faasim_payload::Payload>) -> Result<(), AgentError> {
         let entry = self.resolve(to).await?;
         self.socket.send(entry.addr, payload).await;
         self.runtime.recorder.incr("agents.messages_sent");
@@ -209,7 +208,8 @@ impl Agent {
 
     /// Request/reply to a named agent. On timeout, re-resolves once (the
     /// peer may have migrated) and retries.
-    pub async fn request(&self, to: &str, payload: Bytes) -> Result<Message, AgentError> {
+    pub async fn request(&self, to: &str, payload: impl Into<faasim_payload::Payload>) -> Result<Message, AgentError> {
+        let payload = payload.into();
         let attempt_timeout = SimDuration::from_millis(50);
         for attempt in 0..2 {
             let entry = self.resolve(to).await?;
@@ -242,7 +242,7 @@ impl Agent {
     }
 
     /// Reply to a request received via [`Agent::recv`].
-    pub async fn reply(&self, req: &Message, payload: Bytes) {
+    pub async fn reply(&self, req: &Message, payload: impl Into<faasim_payload::Payload>) {
         self.socket.reply(req, payload).await;
     }
 
@@ -286,6 +286,7 @@ impl Drop for Agent {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
     use faasim_net::{NetProfile, NicConfig};
     use faasim_simcore::{mbps, SimTime};
 
@@ -318,7 +319,7 @@ mod tests {
                 .await
                 .unwrap()
         });
-        assert_eq!(&reply.payload[..], b"pong");
+        assert!(reply.payload.eq_bytes(b"pong"));
         // First request pays one directory lookup plus ~one RTT: ~1.3 ms.
         assert!(sim.now() < SimTime::ZERO + SimDuration::from_millis(3));
     }
@@ -393,8 +394,8 @@ mod tests {
                 (a, b)
             }
         });
-        assert_eq!(&a.payload[..], b"before");
-        assert_eq!(&b.payload[..], b"after");
+        assert!(a.payload.eq_bytes(b"before"));
+        assert!(b.payload.eq_bytes(b"after"));
         // The second request needed the stale-cache retry path.
         assert_eq!(rt2.recorder.counter("agents.request_retries"), 1);
         assert_eq!(rt2.recorder.counter("agents.migrations"), 1);

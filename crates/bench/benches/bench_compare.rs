@@ -1,0 +1,39 @@
+//! `make bench-compare`: re-run the wall-clock suite and gate it
+//! against the committed `BENCH_baseline.json`.
+//!
+//! Exits nonzero if any kernel bench's events/sec or any experiment's
+//! wall-clock is more than `BENCH_COMPARE_TOLERANCE` (default 0.25 =
+//! 25%) worse than the baseline. `BENCH_SWEEP_SEEDS` shrinks the chaos
+//! sweep for smoke runs (CI uses 4); the sweep is timed but not gated,
+//! since seeds-per-sec at 4 seeds is not comparable to the 64-seed
+//! baseline.
+
+use faasim_bench::{compare, wallclock};
+
+fn main() {
+    let seeds = std::env::var("BENCH_SWEEP_SEEDS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(64);
+    let tolerance = std::env::var("BENCH_COMPARE_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.25);
+    let baseline_path = std::env::var("BENCH_BASELINE").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_baseline.json").to_owned()
+    });
+
+    let json = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("read {baseline_path}: {e} — run `make bench` first"));
+    let baseline = compare::parse_baseline(&json)
+        .unwrap_or_else(|| panic!("unrecognized baseline schema in {baseline_path}"));
+
+    faasim_bench::section("bench-compare (fresh run vs committed baseline)");
+    let current = wallclock::run_baseline(seeds);
+    let (report, regressions) = compare::compare(&baseline, &current, tolerance);
+    println!("{report}");
+
+    if !regressions.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod compare;
 pub mod wallclock;
 
 /// Print a section header.

@@ -62,7 +62,11 @@ pub struct ExperimentBench {
 pub struct SweepBench {
     /// Seeds swept (each runs twice — the replay check).
     pub seeds: usize,
-    /// Worker threads the parallel arm used.
+    /// Cores the host reports (recorded alongside `workers` so a
+    /// baseline taken on a different machine is interpretable).
+    pub cores: usize,
+    /// Worker threads the parallel arm used (defaults to `cores` via
+    /// [`ParallelSweep::auto`]).
     pub workers: usize,
     /// Host seconds, serial arm.
     pub serial_secs: f64,
@@ -204,6 +208,16 @@ pub fn run_experiment_benches() -> Vec<ExperimentBench> {
                 BENCH_SEED,
             ));
         }),
+        // The default sweep ends at the 30 GB paper-scale point where the
+        // 15-minute guillotine forces execution chaining. Symbolic
+        // payloads are what make this affordable: the acceptance bar is
+        // < 0.8 s wall for the whole five-point sweep.
+        one("data_shipping_paper_scale", || {
+            std::hint::black_box(data_shipping::run(
+                &data_shipping::DataShippingParams::default(),
+                BENCH_SEED,
+            ));
+        }),
         one("training", || {
             std::hint::black_box(training::run(&training::TrainingParams::quick(), BENCH_SEED));
         }),
@@ -240,6 +254,7 @@ pub fn run_sweep_bench(seeds: usize) -> SweepBench {
     );
     SweepBench {
         seeds,
+        cores: ParallelSweep::available_cores(),
         workers: pool.workers(),
         serial_secs,
         parallel_secs,
@@ -302,6 +317,7 @@ impl Baseline {
         out.push_str("  \"sweep\": {\n");
         writeln!(out, "    \"scenario\": \"crdt-sync/chaotic\",").unwrap();
         writeln!(out, "    \"seeds\": {},", s.seeds).unwrap();
+        writeln!(out, "    \"cores\": {},", s.cores).unwrap();
         writeln!(out, "    \"workers\": {},", s.workers).unwrap();
         writeln!(out, "    \"serial_secs\": {},", json_f64(s.serial_secs)).unwrap();
         writeln!(out, "    \"parallel_secs\": {},", json_f64(s.parallel_secs)).unwrap();
@@ -354,11 +370,12 @@ impl Baseline {
         let s = &self.sweep;
         writeln!(
             out,
-            "sweep: {} seeds  serial {:.3}s ({:.1} seeds/s)  parallel[{} workers] {:.3}s ({:.1} seeds/s)  speedup {:.2}x",
+            "sweep: {} seeds  serial {:.3}s ({:.1} seeds/s)  parallel[{} workers / {} cores] {:.3}s ({:.1} seeds/s)  speedup {:.2}x",
             s.seeds,
             s.serial_secs,
             s.serial_seeds_per_sec(),
             s.workers,
+            s.cores,
             s.parallel_secs,
             s.parallel_seeds_per_sec(),
             s.speedup()
@@ -389,6 +406,7 @@ mod tests {
             }],
             sweep: SweepBench {
                 seeds: 2,
+                cores: 4,
                 workers: 4,
                 serial_secs: 1.0,
                 parallel_secs: 0.5,

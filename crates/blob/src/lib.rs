@@ -19,8 +19,8 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
-use bytes::Bytes;
 use faasim_net::Host;
+use faasim_payload::Payload;
 use faasim_pricing::{Ledger, PriceBook, Service};
 use faasim_simcore::{
     mbytes_per_sec, Bps, LatencyModel, Recorder, Sender, Sim, SimDuration, SimRng, SimTime,
@@ -119,7 +119,7 @@ pub struct BlobEvent {
 
 #[derive(Clone)]
 struct ObjectVersion {
-    data: Bytes,
+    data: Payload,
     visible_at: SimTime,
     tombstone: bool,
 }
@@ -251,8 +251,9 @@ impl BlobStore {
         caller: &Host,
         bucket: &str,
         key: &str,
-        data: Bytes,
+        data: impl Into<Payload>,
     ) -> Result<(), BlobError> {
+        let data = data.into();
         self.chaos_gate("blob.put.latency").await?;
         let t0 = self.sim.now();
         let latency = self.sample_latency();
@@ -307,7 +308,7 @@ impl BlobStore {
 
     /// Fetch an object. Completes after the full body has streamed through
     /// the caller's NIC at the per-connection cap.
-    pub async fn get(&self, caller: &Host, bucket: &str, key: &str) -> Result<Bytes, BlobError> {
+    pub async fn get(&self, caller: &Host, bucket: &str, key: &str) -> Result<Payload, BlobError> {
         self.chaos_gate("blob.get.latency").await?;
         let t0 = self.sim.now();
         let latency = self.sample_latency();
@@ -329,7 +330,7 @@ impl BlobStore {
         Ok(data)
     }
 
-    fn read_visible(&self, bucket: &str, key: &str) -> Result<Bytes, BlobError> {
+    fn read_visible(&self, bucket: &str, key: &str) -> Result<Payload, BlobError> {
         let now = self.sim.now();
         let st = self.state.borrow();
         let b = st
@@ -367,7 +368,7 @@ impl BlobStore {
                 .ok_or_else(|| BlobError::NoSuchBucket(bucket.to_owned()))?;
             if let Some(versions) = b.objects.get_mut(key) {
                 versions.push(ObjectVersion {
-                    data: Bytes::new(),
+                    data: Payload::new(),
                     visible_at,
                     tombstone: true,
                 });
@@ -467,6 +468,7 @@ impl BlobStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
     use faasim_net::{Fabric, NetProfile, NicConfig};
     use faasim_simcore::{mbps, Sim};
 
@@ -497,7 +499,7 @@ mod tests {
                 .unwrap();
             store.get(&host, "b", "k").await.unwrap()
         });
-        assert_eq!(&got[..], b"hello");
+        assert!(got.eq_bytes(b"hello"));
     }
 
     #[test]
@@ -520,7 +522,9 @@ mod tests {
         let took = sim.block_on({
             let store = store.clone();
             async move {
-                let data = Bytes::from(vec![0u8; 100_000_000]);
+                // 100 MB in O(1) memory: the symbolic data plane times the
+                // transfer off `len()` alone.
+                let data = Payload::zeros(100_000_000);
                 store.put(&host, "b", "batch", data).await.unwrap();
                 let t0 = store.sim.now();
                 store.get(&host, "b", "batch").await.unwrap();
@@ -600,11 +604,11 @@ mod tests {
                     .unwrap();
                 // Immediately after the overwrite: still see v1.
                 let stale = store.get(&host, "b", "k").await.unwrap();
-                assert_eq!(&stale[..], b"v1");
+                assert!(stale.eq_bytes(b"v1"));
                 // After the lag: v2.
                 store.sim.sleep(SimDuration::from_secs(6)).await;
                 let fresh = store.get(&host, "b", "k").await.unwrap();
-                assert_eq!(&fresh[..], b"v2");
+                assert!(fresh.eq_bytes(b"v2"));
             }
         });
     }

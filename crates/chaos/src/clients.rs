@@ -149,7 +149,7 @@ impl RetryingBlob {
         caller: &Host,
         bucket: &str,
         key: &str,
-    ) -> Result<Bytes, RetryError<BlobError>> {
+    ) -> Result<faasim_payload::Payload, RetryError<BlobError>> {
         let rec = self.recorder.clone();
         self.policy
             .run(&self.sim, &self.rng, BlobError::is_transient, || {

@@ -120,7 +120,7 @@ impl Scenario for CrdtSync {
                             .await
                         {
                             Ok(item) => {
-                                if let Some(other) = GCounter::decode(&item.value) {
+                                if let Some(other) = GCounter::decode(&item.value.bytes()) {
                                     states.borrow_mut()[idx].merge(&other);
                                 }
                             }
@@ -146,7 +146,7 @@ impl Scenario for CrdtSync {
                             .get(&host, "crdt", &format!("replica-{peer}"), Consistency::Eventual)
                             .await
                         {
-                            if let Some(other) = GCounter::decode(&item.value) {
+                            if let Some(other) = GCounter::decode(&item.value.bytes()) {
                                 states.borrow_mut()[idx].merge(&other);
                             }
                         }
@@ -247,7 +247,7 @@ impl Scenario for QueuePipeline {
                     // kill can strike first and force a redelivery.
                     ctx.cpu(SimDuration::from_millis(100)).await;
                     for m in decode_batch(&payload).expect("batch codec") {
-                        let id = u32::from_le_bytes(m[..4].try_into().expect("4-byte payload"));
+                        let id = u32::from_le_bytes(m.bytes()[..4].try_into().expect("4-byte payload"));
                         *s.borrow_mut().entry(id).or_insert(0) += 1;
                     }
                     Ok(Bytes::new())

@@ -231,9 +231,10 @@ fn run_lambda(
                 let docs = decode_batch(&payload).expect("batch payload");
                 let mut censored = Vec::with_capacity(docs.len());
                 for doc in &docs {
-                    let text = std::str::from_utf8(doc).expect("utf8 docs");
+                    let doc = doc.to_vec();
+                    let text = std::str::from_utf8(&doc).expect("utf8 docs");
                     let out = model.censor(text);
-                    censored.push(Bytes::from(out.text.into_bytes()));
+                    censored.push(faasim_payload::Payload::from(out.text.into_bytes()));
                     ctx.cpu(per_doc).await;
                 }
                 let result = encode_batch(&censored);
@@ -328,7 +329,8 @@ fn run_ec2_sqs(
                 .await
                 .expect("receive");
             for m in &got {
-                let text = std::str::from_utf8(&m.body).expect("utf8");
+                let body = m.body.to_vec();
+                let text = std::str::from_utf8(&body).expect("utf8");
                 let _ = model.censor(text);
                 vm2.cpu_work(per_doc).await;
             }
@@ -369,7 +371,8 @@ fn run_ec2_zmq(
     cloud.sim.spawn(async move {
         loop {
             let req = server_sock.recv().await;
-            let text = std::str::from_utf8(&req.payload).expect("utf8");
+            let body = req.payload.to_vec();
+            let text = std::str::from_utf8(&body).expect("utf8");
             let out = model.censor(text);
             server_vm.cpu_work(per_doc).await;
             server_sock

@@ -279,7 +279,7 @@ fn lambda_io(cloud: &Cloud, medium: Medium, trials: usize, payload: Bytes) -> Hi
             let kv = kv.clone();
             let res = res.clone();
             async move {
-                let want = u64::from_le_bytes(payload[..8].try_into().expect("8-byte count"));
+                let want = u64::from_le_bytes(payload.bytes()[..8].try_into().expect("8-byte count"));
                 let body = payload.slice(8..);
                 let margin = SimDuration::from_secs(2);
                 let key = format!("lambda-io-{}", ctx.container_id());

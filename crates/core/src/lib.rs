@@ -53,6 +53,7 @@ pub use faasim_faas as faas;
 pub use faasim_kv as kv;
 pub use faasim_ml as ml;
 pub use faasim_net as net;
+pub use faasim_payload as payload;
 pub use faasim_pricing as pricing;
 pub use faasim_protocols as protocols;
 pub use faasim_query as query;

@@ -1,43 +1,58 @@
 //! Length-prefixed framing for passing a batch of documents through a
-//! single `Bytes` payload (FaaS payloads are opaque byte strings, so
+//! single payload (FaaS payloads are opaque byte strings, so
 //! multi-message batches need an encoding).
+//!
+//! Frames are stitched together with [`Payload::concat`] and carved back
+//! out with [`Payload::slice`], so synthetic bodies stay symbolic all the
+//! way through a queue trigger: only the 4-byte prefixes are ever
+//! materialized.
 
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::Bytes;
+use faasim_payload::Payload;
 
 /// Encode a batch of byte strings into one payload.
-pub fn encode_batch(items: &[Bytes]) -> Bytes {
-    let total: usize = items.iter().map(|i| i.len() + 4).sum();
-    let mut buf = BytesMut::with_capacity(4 + total);
-    buf.put_u32_le(items.len() as u32);
+pub fn encode_batch(items: &[Payload]) -> Payload {
+    let mut parts: Vec<Payload> = Vec::with_capacity(1 + 2 * items.len());
+    parts.push(Payload::from(Bytes::from(
+        (items.len() as u32).to_le_bytes().to_vec(),
+    )));
     for item in items {
-        buf.put_u32_le(item.len() as u32);
-        buf.put_slice(item);
+        parts.push(Payload::from(Bytes::from(
+            (item.len() as u32).to_le_bytes().to_vec(),
+        )));
+        parts.push(item.clone());
     }
-    buf.freeze()
+    Payload::concat(parts)
 }
 
 /// Decode a payload produced by [`encode_batch`]. Returns `None` on
 /// malformed input.
-pub fn decode_batch(payload: &Bytes) -> Option<Vec<Bytes>> {
+pub fn decode_batch(payload: &Payload) -> Option<Vec<Payload>> {
+    let total = payload.len();
     let mut offset = 0usize;
     let read_u32 = |offset: &mut usize| -> Option<u32> {
-        let bytes = payload.get(*offset..*offset + 4)?;
+        if *offset + 4 > total {
+            return None;
+        }
+        let bytes = payload.slice(*offset..*offset + 4).to_vec();
         *offset += 4;
         Some(u32::from_le_bytes(bytes.try_into().ok()?))
     };
     let count = read_u32(&mut offset)? as usize;
     // Guard against absurd counts from corrupt prefixes.
-    if count > payload.len() {
+    if count > total {
         return None;
     }
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
         let len = read_u32(&mut offset)? as usize;
-        let item = payload.get(offset..offset + len)?;
+        if offset + len > total {
+            return None;
+        }
+        out.push(payload.slice(offset..offset + len));
         offset += len;
-        out.push(payload.slice_ref(item));
     }
-    if offset != payload.len() {
+    if offset != total {
         return None; // trailing garbage
     }
     Some(out)
@@ -50,9 +65,9 @@ mod tests {
     #[test]
     fn roundtrip() {
         let items = vec![
-            Bytes::from_static(b"one"),
-            Bytes::new(),
-            Bytes::from(vec![7u8; 1000]),
+            Payload::from_static(b"one"),
+            Payload::new(),
+            Payload::from(vec![7u8; 1000]),
         ];
         let encoded = encode_batch(&items);
         let decoded = decode_batch(&encoded).unwrap();
@@ -60,28 +75,42 @@ mod tests {
     }
 
     #[test]
+    fn synthetic_items_stay_symbolic() {
+        // A 1 GB synthetic document survives the encode/decode roundtrip
+        // without ever being materialized.
+        let big = Payload::synthetic("log line\n", 100_000_000);
+        let encoded = encode_batch(&[big.clone(), Payload::from_static(b"tail")]);
+        assert_eq!(encoded.len(), 4 + (4 + big.len()) + (4 + 4));
+        let decoded = decode_batch(&encoded).unwrap();
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[0].len(), big.len());
+        assert_eq!(decoded[0].line_count(), big.line_count());
+        assert!(decoded[1].eq_bytes(b"tail"));
+    }
+
+    #[test]
     fn empty_batch() {
         let encoded = encode_batch(&[]);
-        assert_eq!(decode_batch(&encoded).unwrap(), Vec::<Bytes>::new());
+        assert_eq!(decode_batch(&encoded).unwrap(), Vec::<Payload>::new());
     }
 
     #[test]
     fn malformed_inputs_rejected() {
-        assert!(decode_batch(&Bytes::from_static(b"")).is_none());
-        assert!(decode_batch(&Bytes::from_static(b"\x01\x00")).is_none());
+        assert!(decode_batch(&Payload::from_static(b"")).is_none());
+        assert!(decode_batch(&Payload::from_static(b"\x01\x00")).is_none());
         // Valid prefix but truncated body.
-        let mut good = encode_batch(&[Bytes::from_static(b"hello")]).to_vec();
+        let mut good = encode_batch(&[Payload::from_static(b"hello")]).to_vec();
         good.truncate(good.len() - 1);
-        assert!(decode_batch(&Bytes::from(good)).is_none());
+        assert!(decode_batch(&Payload::from(good)).is_none());
         // Trailing garbage.
-        let mut padded = encode_batch(&[Bytes::from_static(b"x")]).to_vec();
+        let mut padded = encode_batch(&[Payload::from_static(b"x")]).to_vec();
         padded.push(0);
-        assert!(decode_batch(&Bytes::from(padded)).is_none());
+        assert!(decode_batch(&Payload::from(padded)).is_none());
     }
 
     #[test]
     fn absurd_count_rejected() {
-        let bogus = Bytes::from(u32::MAX.to_le_bytes().to_vec());
+        let bogus = Payload::from(u32::MAX.to_le_bytes().to_vec());
         assert!(decode_batch(&bogus).is_none());
     }
 }

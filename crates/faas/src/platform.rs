@@ -9,6 +9,7 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use faasim_net::{Fabric, Host, HostId};
+use faasim_payload::Payload;
 use faasim_pricing::{Ledger, PriceBook, Service};
 use faasim_simcore::{
     LocalBoxFuture, Recorder, SemPermit, Semaphore, Sim, SimDuration, SimRng, SimTime,
@@ -59,9 +60,9 @@ impl fmt::Display for FnError {
 impl std::error::Error for FnError {}
 
 /// Handler output.
-pub type HandlerResult = Result<Bytes, FnError>;
+pub type HandlerResult = Result<Payload, FnError>;
 
-type Handler = Rc<dyn Fn(FnCtx, Bytes) -> LocalBoxFuture<'static, HandlerResult>>;
+type Handler = Rc<dyn Fn(FnCtx, Payload) -> LocalBoxFuture<'static, HandlerResult>>;
 
 /// A registered function: name, resources, and handler code.
 #[derive(Clone)]
@@ -86,22 +87,29 @@ impl fmt::Debug for FunctionSpec {
 }
 
 impl FunctionSpec {
-    /// Define a function from an async closure.
-    pub fn new<F, Fut>(
+    /// Define a function from an async closure. The handler may return any
+    /// body type convertible into [`Payload`] (`Payload`, `Bytes`, `Vec<u8>`,
+    /// static slices/strings), so plain byte-producing handlers compile
+    /// unchanged while data-plane-aware ones stay symbolic.
+    pub fn new<F, Fut, R>(
         name: impl Into<String>,
         memory_mb: u64,
         timeout: SimDuration,
         handler: F,
     ) -> FunctionSpec
     where
-        F: Fn(FnCtx, Bytes) -> Fut + 'static,
-        Fut: Future<Output = HandlerResult> + 'static,
+        F: Fn(FnCtx, Payload) -> Fut + 'static,
+        Fut: Future<Output = Result<R, FnError>> + 'static,
+        R: Into<Payload> + 'static,
     {
         FunctionSpec {
             name: name.into(),
             memory_mb,
             timeout,
-            handler: Rc::new(move |ctx, payload| Box::pin(handler(ctx, payload))),
+            handler: Rc::new(move |ctx, payload| {
+                let fut = handler(ctx, payload);
+                Box::pin(async move { fut.await.map(Into::into) })
+            }),
         }
     }
 }
@@ -545,14 +553,14 @@ impl FaasPlatform {
     }
 
     /// Invoke `func` synchronously and await its outcome.
-    pub async fn invoke(&self, func: &str, payload: Bytes) -> InvokeOutcome {
-        self.invoke_inner(func, payload, false).await
+    pub async fn invoke(&self, func: &str, payload: impl Into<Payload>) -> InvokeOutcome {
+        self.invoke_inner(func, payload.into(), false).await
     }
 
     /// Invoke via the queue-trigger path (adds the event-source dispatch
     /// overhead). Used by [`crate::trigger`].
-    pub async fn invoke_triggered(&self, func: &str, payload: Bytes) -> InvokeOutcome {
-        self.invoke_inner(func, payload, true).await
+    pub async fn invoke_triggered(&self, func: &str, payload: impl Into<Payload>) -> InvokeOutcome {
+        self.invoke_inner(func, payload.into(), true).await
     }
 
     /// Asynchronous invocation with Lambda's event-invoke semantics: the
@@ -560,9 +568,10 @@ impl FaasPlatform {
     /// background, retrying failed executions up to `async_retries` times
     /// with backoff, then (if configured) delivering the original payload
     /// to the function's on-failure queue.
-    pub fn invoke_async(&self, func: &str, payload: Bytes) {
+    pub fn invoke_async(&self, func: &str, payload: impl Into<Payload>) {
         let this = self.clone();
         let func = func.to_owned();
+        let payload: Payload = payload.into();
         self.sim.clone().spawn(async move {
             let (retries, backoff) = (
                 this.profile.async_retries,
@@ -626,7 +635,7 @@ impl FaasPlatform {
         }
     }
 
-    async fn invoke_inner(&self, func: &str, payload: Bytes, triggered: bool) -> InvokeOutcome {
+    async fn invoke_inner(&self, func: &str, payload: Payload, triggered: bool) -> InvokeOutcome {
         let t0 = self.sim.now();
         let spec = match self.state.borrow().functions.get(func) {
             Some(s) => s.clone(),
@@ -892,7 +901,7 @@ mod tests {
             let mut counts = Vec::new();
             for _ in 0..3 {
                 let out = p.invoke("stateful", Bytes::new()).await;
-                counts.push(out.result.unwrap()[0]);
+                counts.push(out.result.unwrap().bytes()[0]);
             }
             counts
         });
@@ -954,7 +963,7 @@ mod tests {
         assert_eq!(platform.host_count(), 1, "all containers on one host");
         for out in &outs {
             let ns = u64::from_le_bytes(
-                out.result.as_ref().unwrap()[..8].try_into().unwrap(),
+                out.result.as_ref().unwrap().bytes()[..8].try_into().unwrap(),
             );
             let secs = ns as f64 / 1e9;
             assert!((secs - 1.25).abs() < 0.05, "transfer took {secs}");
@@ -1208,7 +1217,7 @@ mod tests {
             "doomed",
             128,
             SimDuration::from_secs(30),
-            |_ctx, _| async move { Err(FnError::Handler("permanent".into())) },
+            |_ctx, _| async move { Err::<Payload, _>(FnError::Handler("permanent".into())) },
         ));
         platform.set_async_failure_destination("doomed", &queues, "failed-events");
         platform.invoke_async("doomed", Bytes::from_static(b"event-1"));

@@ -7,8 +7,8 @@
 use std::cell::Cell;
 use std::rc::Rc;
 
-use bytes::Bytes;
 use faasim_blob::BlobStore;
+use faasim_payload::Payload;
 use faasim_net::{Fabric, NicConfig};
 use faasim_queue::{QueueService, MAX_BATCH};
 use faasim_simcore::{mbps, SimDuration};
@@ -68,7 +68,7 @@ pub fn add_queue_trigger(
             if received.is_empty() {
                 continue;
             }
-            let bodies: Vec<Bytes> = received.iter().map(|m| m.body.clone()).collect();
+            let bodies: Vec<Payload> = received.iter().map(|m| m.body.clone()).collect();
             let payload = encode_batch(&bodies);
             let outcome = platform.invoke_triggered(&func, payload).await;
             if outcome.result.is_ok() {
@@ -116,7 +116,7 @@ impl BlobTriggerBuilder {
                     break;
                 }
                 if event.kind == faasim_blob::BlobEventKind::Created {
-                    platform.invoke_async(&func, Bytes::from(event.key.into_bytes()));
+                    platform.invoke_async(&func, event.key.into_bytes());
                 }
             }
         });
@@ -131,6 +131,7 @@ fn platform_sim(platform: &FaasPlatform) -> faasim_simcore::Sim {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
     use crate::config::FaasProfile;
     use crate::platform::FunctionSpec;
     use faasim_blob::BlobProfile;

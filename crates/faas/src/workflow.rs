@@ -11,7 +11,7 @@
 //! which is why even a "fast" workflow accumulates hundreds of
 //! milliseconds per step.
 
-use bytes::Bytes;
+use faasim_payload::Payload;
 use faasim_simcore::{join_all, LatencyModel, SimDuration};
 
 use crate::codec::encode_batch;
@@ -43,7 +43,7 @@ pub struct Workflow {
 #[derive(Clone, Debug)]
 pub struct WorkflowOutcome {
     /// Final payload (of the last step / joined branches).
-    pub result: Result<Bytes, WorkflowError>,
+    pub result: Result<Payload, WorkflowError>,
     /// Total invocations made (including retries).
     pub invocations: u32,
     /// End-to-end latency.
@@ -133,11 +133,13 @@ impl Orchestrator {
     }
 
     /// Execute `workflow` on `input`.
-    pub async fn run(&self, workflow: &Workflow, input: Bytes) -> WorkflowOutcome {
+    pub async fn run(&self, workflow: &Workflow, input: impl Into<Payload>) -> WorkflowOutcome {
         let sim = self.platform.sim_handle();
         let t0 = sim.now();
         let mut invocations = 0u32;
-        let result = self.run_steps(&workflow.steps, input, &mut invocations).await;
+        let result = self
+            .run_steps(&workflow.steps, input.into(), &mut invocations)
+            .await;
         WorkflowOutcome {
             result,
             invocations,
@@ -148,9 +150,9 @@ impl Orchestrator {
     async fn run_steps(
         &self,
         steps: &[Step],
-        mut payload: Bytes,
+        mut payload: Payload,
         invocations: &mut u32,
-    ) -> Result<Bytes, WorkflowError> {
+    ) -> Result<Payload, WorkflowError> {
         let sim = self.platform.sim_handle();
         for step in steps {
             let d = {
@@ -217,6 +219,7 @@ impl Orchestrator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
     use crate::codec::decode_batch;
     use crate::config::FaasProfile;
     use crate::platform::FunctionSpec;
@@ -263,7 +266,7 @@ mod tests {
         assert_eq!(wf.len(), 2);
         let orch = Orchestrator::new(&platform);
         let out = sim.block_on(async move { orch.run(&wf, Bytes::from_static(b"x")).await });
-        assert_eq!(&out.result.unwrap()[..], b"x-a-b");
+        assert!(out.result.unwrap().eq_bytes(b"x-a-b"));
         assert_eq!(out.invocations, 2);
         // Two steps: ≥ 2 invocation overheads + a cold start each (fresh
         // containers) — composition pays Table 1 per hop.
@@ -283,7 +286,7 @@ mod tests {
                 let parts = decode_batch(&payload).expect("joined batch");
                 let mut v = Vec::new();
                 for p in parts {
-                    v.extend_from_slice(&p);
+                    v.extend_from_slice(&p.to_vec());
                     v.push(b'+');
                 }
                 Ok(Bytes::from(v))
@@ -297,7 +300,7 @@ mod tests {
             .then("join");
         let orch = Orchestrator::new(&platform);
         let out = sim.block_on(async move { orch.run(&wf, Bytes::from_static(b"x")).await });
-        assert_eq!(&out.result.unwrap()[..], b"x-L+x-R+");
+        assert!(out.result.unwrap().eq_bytes(b"x-L+x-R+"));
         assert_eq!(out.invocations, 3);
     }
 
@@ -351,7 +354,7 @@ mod tests {
             "always-fails",
             128,
             SimDuration::from_secs(30),
-            |_ctx, _| async move { Err(FnError::Handler("permanent".into())) },
+            |_ctx, _| async move { Err::<Payload, _>(FnError::Handler("permanent".into())) },
         ));
         let orch = Orchestrator::new(&platform);
         let wf_ok = Workflow::new().then_with_retries("flaky", 5);
@@ -376,7 +379,7 @@ mod tests {
         let wf = Workflow::new();
         assert!(wf.is_empty());
         let out = sim.block_on(async move { orch.run(&wf, Bytes::from_static(b"same")).await });
-        assert_eq!(&out.result.unwrap()[..], b"same");
+        assert!(out.result.unwrap().eq_bytes(b"same"));
         assert_eq!(out.invocations, 0);
     }
 }

@@ -17,8 +17,8 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
-use bytes::Bytes;
 use faasim_net::Host;
+use faasim_payload::Payload;
 use faasim_pricing::{Ledger, PriceBook, Service};
 use faasim_simcore::{LatencyModel, Recorder, Sim, SimDuration, SimRng, SimTime};
 
@@ -120,17 +120,17 @@ impl KvProfile {
 #[derive(Clone, Debug, PartialEq)]
 pub struct Item {
     /// Item payload.
-    pub value: Bytes,
+    pub value: Payload,
     /// Version of this item; bumps on every successful write.
     pub version: u64,
 }
 
 #[derive(Clone)]
 struct StoredItem {
-    value: Bytes,
+    value: Payload,
     version: u64,
     committed_at: SimTime,
-    prev: Option<(Bytes, u64)>,
+    prev: Option<(Payload, u64)>,
 }
 
 #[derive(Default)]
@@ -256,8 +256,9 @@ impl KvStore {
         _caller: &Host,
         table: &str,
         key: &str,
-        value: Bytes,
+        value: impl Into<Payload>,
     ) -> Result<u64, KvError> {
+        let value = value.into();
         if value.len() > MAX_ITEM_BYTES {
             return Err(KvError::ItemTooLarge(value.len()));
         }
@@ -298,9 +299,10 @@ impl KvStore {
         _caller: &Host,
         table: &str,
         key: &str,
-        value: Bytes,
+        value: impl Into<Payload>,
         cond: Condition,
     ) -> Result<u64, KvError> {
+        let value = value.into();
         if value.len() > MAX_ITEM_BYTES {
             return Err(KvError::ItemTooLarge(value.len()));
         }
@@ -461,6 +463,7 @@ impl KvStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
     use faasim_net::{Fabric, NetProfile, NicConfig};
     use faasim_simcore::mbps;
 
@@ -490,7 +493,7 @@ mod tests {
                 .await
                 .unwrap();
             let item = kv.get(&host, "t", "k", Consistency::Strong).await.unwrap();
-            assert_eq!(&item.value[..], b"a");
+            assert!(item.value.eq_bytes(b"a"));
             assert_eq!(item.version, v1);
             let v2 = kv
                 .put(&host, "t", "k", Bytes::from_static(b"b"))
@@ -541,7 +544,7 @@ mod tests {
                 .get(&host, "t", "leader", Consistency::Strong)
                 .await
                 .unwrap();
-            assert_eq!(&item.value[..], b"n1");
+            assert!(item.value.eq_bytes(b"n1"));
         });
     }
 
@@ -569,7 +572,7 @@ mod tests {
                 .await;
             assert_eq!(res.unwrap_err(), KvError::ConditionFailed);
             let cur = kv.get(&host, "t", "k", Consistency::Strong).await.unwrap();
-            assert_eq!(&cur.value[..], b"b");
+            assert!(cur.value.eq_bytes(b"b"));
         });
     }
 
@@ -620,17 +623,17 @@ mod tests {
                     .get(&host, "t", "k", Consistency::Eventual)
                     .await
                     .unwrap();
-                assert_eq!(&stale.value[..], b"old");
+                assert!(stale.value.eq_bytes(b"old"));
                 // ...while a strong read sees "new".
                 let strong = kv.get(&host, "t", "k", Consistency::Strong).await.unwrap();
-                assert_eq!(&strong.value[..], b"new");
+                assert!(strong.value.eq_bytes(b"new"));
                 // And once the lag passes, eventual catches up.
                 kv.sim.sleep(SimDuration::from_secs(2)).await;
                 let fresh = kv
                     .get(&host, "t", "k", Consistency::Eventual)
                     .await
                     .unwrap();
-                assert_eq!(&fresh.value[..], b"new");
+                assert!(fresh.value.eq_bytes(b"new"));
             }
         });
     }

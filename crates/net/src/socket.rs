@@ -14,7 +14,7 @@ use std::fmt;
 use std::rc::Rc;
 use std::task::Waker;
 
-use bytes::Bytes;
+use faasim_payload::Payload;
 use faasim_simcore::{oneshot, OneshotSender, SimDuration};
 
 use crate::fabric::{Fabric, Host, HostId};
@@ -53,7 +53,7 @@ pub struct Message {
     /// Correlation kind.
     pub kind: Kind,
     /// Payload bytes.
-    pub payload: Bytes,
+    pub payload: Payload,
 }
 
 /// Errors from socket operations.
@@ -176,7 +176,7 @@ impl Socket {
         self.st.borrow().queue.len()
     }
 
-    async fn transmit(&self, to: Addr, kind: Kind, payload: Bytes) {
+    async fn transmit(&self, to: Addr, kind: Kind, payload: Payload) {
         let size = payload.len() as u64 + WIRE_OVERHEAD_BYTES;
         let rec = self.fabric.recorder().clone();
         rec.incr("net.messages_sent");
@@ -233,13 +233,13 @@ impl Socket {
 
     /// Send a one-way datagram. Completes when the message is on the wire
     /// (after paying the local NIC); delivery continues asynchronously.
-    pub async fn send(&self, to: Addr, payload: Bytes) {
-        self.transmit(to, Kind::Oneway, payload).await;
+    pub async fn send(&self, to: Addr, payload: impl Into<Payload>) {
+        self.transmit(to, Kind::Oneway, payload.into()).await;
     }
 
     /// Send a request and await its reply. Callers should wrap this in
     /// [`faasim_simcore::Sim::timeout`] when the peer may be gone.
-    pub async fn request(&self, to: Addr, payload: Bytes) -> Result<Message, NetError> {
+    pub async fn request(&self, to: Addr, payload: impl Into<Payload>) -> Result<Message, NetError> {
         let corr = {
             let mut c = self.next_corr.borrow_mut();
             *c += 1;
@@ -247,7 +247,7 @@ impl Socket {
         };
         let (tx, rx) = oneshot();
         self.st.borrow_mut().pending.insert(corr, tx);
-        self.transmit(to, Kind::Request(corr), payload).await;
+        self.transmit(to, Kind::Request(corr), payload.into()).await;
         match rx.await {
             Ok(msg) => Ok(msg),
             Err(_) => Err(NetError::Canceled),
@@ -259,11 +259,11 @@ impl Socket {
     /// # Panics
     /// Panics when `req` is not a [`Kind::Request`] — replying to a reply
     /// is always a protocol bug.
-    pub async fn reply(&self, req: &Message, payload: Bytes) {
+    pub async fn reply(&self, req: &Message, payload: impl Into<Payload>) {
         let Kind::Request(corr) = req.kind else {
             panic!("reply() to a non-request message: {:?}", req.kind);
         };
-        self.transmit(req.from, Kind::Reply(corr), payload).await;
+        self.transmit(req.from, Kind::Reply(corr), payload.into()).await;
     }
 
     /// Await the next inbound request/one-way message.
@@ -280,7 +280,7 @@ impl Socket {
     pub async fn request_timed(
         &self,
         to: Addr,
-        payload: Bytes,
+        payload: impl Into<Payload>,
     ) -> Result<(Message, SimDuration), NetError> {
         let t0 = self.fabric.sim().now();
         let msg = self.request(to, payload).await?;
@@ -323,6 +323,7 @@ impl Drop for Socket {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
     use crate::fabric::{NetProfile, NicConfig};
     use faasim_simcore::{mbps, Recorder, Sim};
 
@@ -346,7 +347,7 @@ mod tests {
             fabric_sleep(&sa).await;
         });
         let got = sim.block_on(async move { sb.recv().await });
-        assert_eq!(&got.payload[..], b"hello");
+        assert!(got.payload.eq_bytes(b"hello"));
         assert_eq!(got.kind, Kind::Oneway);
     }
 
@@ -508,8 +509,8 @@ mod tests {
             }
         });
         // Each requester gets *its own* payload back despite reversed replies.
-        assert_eq!(&x.unwrap().payload[..], b"one");
-        assert_eq!(&y.unwrap().payload[..], b"two");
+        assert!(x.unwrap().payload.eq_bytes(b"one"));
+        assert!(y.unwrap().payload.eq_bytes(b"two"));
     }
 
     use std::rc::Rc;

@@ -137,7 +137,7 @@ impl BlackboardTransport {
             .await
         {
             Ok(item) => {
-                if let Some(hb) = Self::decode_hb(&item.value) {
+                if let Some(hb) = Self::decode_hb(&item.value.bytes()) {
                     self.last_hb = Some(hb);
                 }
             }
@@ -154,7 +154,7 @@ impl BlackboardTransport {
             if self.watermark.as_deref() >= Some(key.as_str()) {
                 continue; // already buffered on an earlier (canceled) poll
             }
-            if let Some(msg) = ElectionMsg::decode(&item.value) {
+            if let Some(msg) = ElectionMsg::decode(&item.value.bytes()) {
                 self.buffer.push_back((msg.from(), msg));
             }
             self.watermark = Some(key.clone());
@@ -308,7 +308,7 @@ impl Transport for SocketTransport {
         loop {
             let raw = self.socket.recv().await;
             debug_assert!(matches!(raw.kind, Kind::Oneway));
-            let Some(msg) = ElectionMsg::decode(&raw.payload) else {
+            let Some(msg) = ElectionMsg::decode(&raw.payload.bytes()) else {
                 continue;
             };
             if let ElectionMsg::Heartbeat { from } = msg {

@@ -24,8 +24,8 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
-use bytes::Bytes;
 use faasim_net::Host;
+use faasim_payload::Payload;
 use faasim_pricing::{Ledger, PriceBook, Service};
 use faasim_simcore::{
     select2, Either, LatencyModel, Notify, Recorder, Sim, SimDuration, SimRng, SimTime,
@@ -145,7 +145,7 @@ pub struct ReceivedMessage {
     /// The message id.
     pub id: MessageId,
     /// Payload.
-    pub body: Bytes,
+    pub body: Payload,
     /// Receipt handle for deletion.
     pub receipt: Receipt,
     /// How many times this message has been received (including this one).
@@ -156,7 +156,7 @@ pub struct ReceivedMessage {
 
 struct StoredMessage {
     id: MessageId,
-    body: Bytes,
+    body: Payload,
     visible_at: SimTime,
     receive_count: u32,
     generation: u32,
@@ -294,7 +294,7 @@ impl QueueService {
     fn enqueue_now(
         &self,
         queue: &str,
-        bodies: Vec<Bytes>,
+        bodies: Vec<Payload>,
         client_send: bool,
     ) -> Result<Vec<MessageId>, QueueError> {
         let now = self.sim.now();
@@ -376,11 +376,11 @@ impl QueueService {
         &self,
         _caller: &Host,
         queue: &str,
-        body: Bytes,
+        body: impl Into<Payload>,
     ) -> Result<MessageId, QueueError> {
         let latency = self.sample(&self.profile.send_latency);
         self.sim.sleep(latency).await;
-        let ids = self.enqueue_now(queue, vec![body], true)?;
+        let ids = self.enqueue_now(queue, vec![body.into()], true)?;
         self.charge_request(1.0);
         self.recorder.incr("queue.send");
         Ok(ids[0])
@@ -391,7 +391,7 @@ impl QueueService {
         &self,
         _caller: &Host,
         queue: &str,
-        bodies: Vec<Bytes>,
+        bodies: Vec<impl Into<Payload>>,
     ) -> Result<Vec<MessageId>, QueueError> {
         if bodies.len() > MAX_BATCH {
             return Err(QueueError::BatchTooLarge(bodies.len()));
@@ -399,6 +399,7 @@ impl QueueService {
         let latency = self.sample(&self.profile.send_latency);
         self.sim.sleep(latency).await;
         let n = bodies.len();
+        let bodies: Vec<Payload> = bodies.into_iter().map(Into::into).collect();
         let ids = self.enqueue_now(queue, bodies, true)?;
         self.charge_request(1.0);
         self.recorder.add("queue.send", n as u64);
@@ -462,7 +463,7 @@ impl QueueService {
 
     fn try_claim(&self, queue: &str, max: usize) -> Result<Vec<ReceivedMessage>, QueueError> {
         let now = self.sim.now();
-        let mut dead_lettered: Vec<Bytes> = Vec::new();
+        let mut dead_lettered: Vec<Payload> = Vec::new();
         let mut dlq_target: Option<String> = None;
         let mut out = Vec::new();
         {
@@ -608,8 +609,9 @@ impl QueueService {
         &self,
         _caller: &Host,
         topic: &str,
-        body: Bytes,
+        body: impl Into<Payload>,
     ) -> Result<usize, QueueError> {
+        let body = body.into();
         let latency = self.sample(&self.profile.send_latency);
         self.sim.sleep(latency).await;
         let subs: Vec<String> = self
@@ -631,6 +633,7 @@ impl QueueService {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
     use faasim_net::{Fabric, NetProfile, NicConfig};
     use faasim_simcore::mbps;
 
@@ -661,7 +664,7 @@ mod tests {
                 .await
                 .unwrap();
             assert_eq!(got.len(), 1);
-            assert_eq!(&got[0].body[..], b"m1");
+            assert!(got[0].body.eq_bytes(b"m1"));
             svc.delete(&host, got[0].receipt.clone()).await.unwrap();
             assert_eq!(svc.queue_len("q"), 0);
         });
@@ -885,7 +888,7 @@ mod tests {
             }
             svc.receive(&host, "q", 10, SimDuration::ZERO).await.unwrap()
         });
-        let order: Vec<u8> = got.iter().map(|m| m.body[0]).collect();
+        let order: Vec<u8> = got.iter().map(|m| m.body.bytes()[0]).collect();
         assert_eq!(order, vec![0, 1, 2, 3, 4]);
     }
 }

@@ -17,7 +17,7 @@
 //! A generation counter discards stale callbacks.
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -55,7 +55,16 @@ struct Flow {
 
 struct LinkState {
     capacity_bps: Bps,
-    flows: BTreeMap<u64, Flow>,
+    /// Flows indexed by `id - base_id` (ids are sequential). Removed
+    /// flows leave a `None` hole; leading holes are popped so the deque
+    /// tracks the live window. Iteration is id order — identical to the
+    /// BTreeMap this replaces — but a contiguous scan instead of a
+    /// pointer chase, which is what keeps thousand-flow fan-ins (the
+    /// query service fetching every object of a 50 GB dataset at once)
+    /// from going quadratic-with-a-big-constant.
+    flows: VecDeque<Option<Flow>>,
+    base_id: u64,
+    live: usize,
     /// Flow ids sorted by `(cap, id)` — the water-filling order. Kept
     /// incrementally: joins binary-search-insert, departures are dropped
     /// lazily (and compacted when stale entries dominate), so a
@@ -68,6 +77,37 @@ struct LinkState {
 }
 
 impl LinkState {
+    fn flow_mut(&mut self, id: u64) -> Option<&mut Flow> {
+        let idx = id.checked_sub(self.base_id)? as usize;
+        self.flows.get_mut(idx)?.as_mut()
+    }
+
+    fn insert_flow(&mut self, flow: Flow) {
+        self.flows.push_back(Some(flow));
+        self.live += 1;
+    }
+
+    fn remove_flow(&mut self, id: u64) -> Option<Flow> {
+        let idx = id.checked_sub(self.base_id)? as usize;
+        let f = self.flows.get_mut(idx)?.take();
+        if f.is_some() {
+            self.live -= 1;
+            while let Some(None) = self.flows.front() {
+                self.flows.pop_front();
+                self.base_id += 1;
+            }
+        }
+        f
+    }
+
+    fn live_flows(&self) -> impl Iterator<Item = &Flow> {
+        self.flows.iter().flatten()
+    }
+
+    fn live_flows_mut(&mut self) -> impl Iterator<Item = &mut Flow> {
+        self.flows.iter_mut().flatten()
+    }
+
     /// Charge elapsed time against remaining bytes at the current rates.
     fn advance_to(&mut self, now: SimTime) {
         let dt = now.duration_since(self.last_update).as_secs_f64();
@@ -75,7 +115,7 @@ impl LinkState {
         if dt <= 0.0 {
             return;
         }
-        for flow in self.flows.values_mut() {
+        for flow in self.live_flows_mut() {
             if flow.done {
                 continue;
             }
@@ -104,18 +144,28 @@ impl LinkState {
     fn reallocate(&mut self) {
         // Compact lazily: entries for reaped flows are skipped below, but
         // once they outnumber live ones, drop them (retain keeps order).
-        if self.order.len() > 2 * self.flows.len() {
+        if self.order.len() > 2 * self.live {
+            let base = self.base_id;
             let flows = &self.flows;
-            self.order.retain(|&(_, id)| flows.contains_key(&id));
+            self.order.retain(|&(_, id)| {
+                id.checked_sub(base)
+                    .and_then(|i| flows.get(i as usize))
+                    .is_some_and(Option::is_some)
+            });
         }
-        let mut n_left = self.flows.values().filter(|f| !f.done).count();
+        let mut n_left = self.live_flows().filter(|f| !f.done).count();
         if n_left == 0 {
             return;
         }
         let mut remaining = self.capacity_bps;
         for i in 0..self.order.len() {
-            let id = self.order[i].1;
-            let Some(flow) = self.flows.get_mut(&id) else {
+            let Some(flow) = self
+                .order[i]
+                .1
+                .checked_sub(self.base_id)
+                .and_then(|idx| self.flows.get_mut(idx as usize))
+                .and_then(Option::as_mut)
+            else {
                 continue; // reaped; compacted eventually
             };
             if flow.done {
@@ -138,7 +188,7 @@ impl LinkState {
     /// Earliest projected completion among active flows.
     fn next_completion(&self, now: SimTime) -> Option<SimTime> {
         let mut best: Option<f64> = None;
-        for flow in self.flows.values() {
+        for flow in self.live_flows() {
             if flow.done || flow.rate_bps <= 0.0 {
                 continue;
             }
@@ -157,7 +207,8 @@ impl LinkState {
 
     fn collect_finished_wakers(&mut self) -> Vec<Waker> {
         self.flows
-            .values_mut()
+            .iter_mut()
+            .flatten()
             .filter(|f| f.done)
             .filter_map(|f| f.waker.take())
             .collect()
@@ -179,7 +230,9 @@ impl FairShareLink {
             sim: sim.clone(),
             st: Rc::new(RefCell::new(LinkState {
                 capacity_bps,
-                flows: BTreeMap::new(),
+                flows: VecDeque::new(),
+                base_id: 0,
+                live: 0,
                 order: Vec::new(),
                 next_flow: 0,
                 last_update: sim.now(),
@@ -195,14 +248,14 @@ impl FairShareLink {
 
     /// Number of in-flight transfers.
     pub fn active_flows(&self) -> usize {
-        self.st.borrow().flows.values().filter(|f| !f.done).count()
+        self.st.borrow().live_flows().filter(|f| !f.done).count()
     }
 
     /// Current rate of a hypothetical new uncapped flow, in bits/second —
     /// useful for instrumentation.
     pub fn fair_share_estimate(&self) -> Bps {
         let st = self.st.borrow();
-        let n = st.flows.values().filter(|f| !f.done).count() + 1;
+        let n = st.live_flows().filter(|f| !f.done).count() + 1;
         st.capacity_bps / n as f64
     }
 
@@ -264,16 +317,13 @@ impl FairShareLink {
             st.advance_to(now);
             let id = st.next_flow;
             st.next_flow += 1;
-            st.flows.insert(
-                id,
-                Flow {
-                    remaining_bits: bits,
-                    cap_bps: cap,
-                    rate_bps: 0.0,
-                    waker: Some(waker),
-                    done: false,
-                },
-            );
+            st.insert_flow(Flow {
+                remaining_bits: bits,
+                cap_bps: cap,
+                rate_bps: 0.0,
+                waker: Some(waker),
+                done: false,
+            });
             st.order_insert(id, cap);
             id
         };
@@ -283,9 +333,9 @@ impl FairShareLink {
 
     fn poll_flow(&self, id: u64, waker: &Waker) -> bool {
         let mut st = self.st.borrow_mut();
-        match st.flows.get_mut(&id) {
+        match st.flow_mut(id) {
             Some(f) if f.done => {
-                st.flows.remove(&id);
+                st.remove_flow(id);
                 true
             }
             Some(f) => {
@@ -299,7 +349,7 @@ impl FairShareLink {
     fn cancel_flow(&self, id: u64) {
         let removed = {
             let mut st = self.st.borrow_mut();
-            st.flows.remove(&id).is_some()
+            st.remove_flow(id).is_some()
         };
         if removed {
             self.on_change();

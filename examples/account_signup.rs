@@ -59,7 +59,7 @@ fn main() {
                 let queue = queue.clone();
                 async move {
                     for user in decode_batch(&payload).expect("batch") {
-                        let user_id = String::from_utf8_lossy(&user).to_string();
+                        let user_id = String::from_utf8_lossy(&user.to_vec()).to_string();
                         // State round-trip: the paper's point — every hop
                         // reads and writes "global state" in slow storage.
                         let state = kv

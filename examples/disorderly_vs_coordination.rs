@@ -75,7 +75,7 @@ fn main() {
                     sock.send(addrs[peer], snapshot).await;
                 }
                 while let Some(msg) = sock.try_recv() {
-                    if let Some(other) = GCounter::decode(&msg.payload) {
+                    if let Some(other) = GCounter::decode(&msg.payload.bytes()) {
                         counters.borrow_mut()[i].merge(&other);
                     }
                 }
@@ -92,7 +92,7 @@ fn main() {
                 }
                 sim.sleep(SimDuration::from_millis(500)).await;
                 while let Some(msg) = sock.try_recv() {
-                    if let Some(other) = GCounter::decode(&msg.payload) {
+                    if let Some(other) = GCounter::decode(&msg.payload.bytes()) {
                         counters.borrow_mut()[i].merge(&other);
                     }
                 }

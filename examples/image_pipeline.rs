@@ -31,7 +31,7 @@ fn main() {
         move |ctx, key_bytes| {
             let blob = blob.clone();
             async move {
-                let key = String::from_utf8_lossy(&key_bytes).to_string();
+                let key = String::from_utf8_lossy(&key_bytes.to_vec()).to_string();
                 let original = blob
                     .get(ctx.host(), "uploads", &key)
                     .await

@@ -61,7 +61,7 @@ fn main() {
         move |ctx, day| {
             let query = query.clone();
             async move {
-                let day = String::from_utf8_lossy(&day).to_string();
+                let day = String::from_utf8_lossy(&day.to_vec()).to_string();
                 let out = query
                     .run(
                         ctx.host(),
@@ -88,7 +88,7 @@ fn main() {
             .await
     });
     println!("\nstatus histogram for 2018-11-02:");
-    print!("{}", String::from_utf8_lossy(out.result.as_ref().expect("report")));
+    print!("{}", String::from_utf8_lossy(&out.result.as_ref().expect("report").to_vec()));
     println!("\nend-to-end latency : {:.2}s (incl. cold start)", out.total.as_secs_f64());
     println!("function billed    : {:.1}s of a 0.25 GB function", out.billed.as_secs_f64());
     println!("\nthe bill:\n{}", cloud.ledger.report());

@@ -26,7 +26,7 @@ fn main() {
         move |ctx, payload| {
             let blob = blob.clone();
             async move {
-                let name = String::from_utf8_lossy(&payload).to_string();
+                let name = String::from_utf8_lossy(&payload.to_vec()).to_string();
                 let message = format!("hello, {name}!");
                 // I/O from inside a function pays the shared host NIC and
                 // the service's per-request latency.
@@ -51,7 +51,7 @@ fn main() {
     println!("warm invoke: {} (cold={})", fmt(warm.total), warm.cold);
     println!(
         "reply: {}",
-        String::from_utf8_lossy(&warm.result.expect("handler succeeded"))
+        String::from_utf8_lossy(&warm.result.expect("handler succeeded").to_vec())
     );
     println!("\nobjects stored: {}", cloud.blob.object_count());
     println!("virtual time elapsed: {}", cloud.sim.now());

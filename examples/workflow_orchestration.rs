@@ -36,7 +36,7 @@ fn main() {
             let parts = decode_batch(&p).expect("joined branches");
             let mut v = Vec::new();
             for part in parts {
-                v.extend_from_slice(&part);
+                v.extend_from_slice(&part.to_vec());
                 v.push(b'&');
             }
             v.extend_from_slice(b"|shipped");
@@ -82,7 +82,7 @@ fn main() {
 
     println!(
         "result        : {}",
-        String::from_utf8_lossy(out.result.as_ref().expect("workflow succeeded"))
+        String::from_utf8_lossy(&out.result.as_ref().expect("workflow succeeded").to_vec())
     );
     println!("invocations   : {} (incl. {} payment retries)", out.invocations, attempts.get() - 1);
     println!("end-to-end    : {:.2}s", out.total.as_secs_f64());

@@ -34,7 +34,7 @@ fn blob_event_to_function_to_queue_pipeline() {
             let blob = blob.clone();
             let queue = queue.clone();
             async move {
-                let key = String::from_utf8_lossy(&key).to_string();
+                let key = String::from_utf8_lossy(&key.to_vec()).to_string();
                 let body = blob.get(ctx.host(), "in", &key).await.expect("object");
                 queue
                     .send(ctx.host(), "out", body)
@@ -87,14 +87,14 @@ fn warm_state_is_best_effort_only() {
         let mut warm = Vec::new();
         for _ in 0..3 {
             let out = faas.invoke("counter", Bytes::new()).await;
-            warm.push(out.result.unwrap()[0]);
+            warm.push(out.result.unwrap().bytes()[0]);
         }
         // Idle past the keep-alive window: the container (and its state)
         // is reclaimed.
         sim.sleep(SimDuration::from_mins(20)).await;
         faas.reap_idle();
         let out = faas.invoke("counter", Bytes::new()).await;
-        (warm, out.result.unwrap()[0])
+        (warm, out.result.unwrap().bytes()[0])
     });
     assert_eq!(warm_counts, vec![1, 2, 3]);
     assert_eq!(after_expiry, 1, "state must vanish with the container");
@@ -128,7 +128,7 @@ fn queue_trigger_at_least_once_after_function_crash() {
                     return Err(FnError::Handler("crash".into()));
                 }
                 for m in decode_batch(&payload).unwrap() {
-                    s.borrow_mut().push(m[0]);
+                    s.borrow_mut().push(m.bytes()[0]);
                 }
                 Ok(Bytes::new())
             }
@@ -222,7 +222,7 @@ fn storage_mediated_state_visible_across_functions() {
         faas.invoke("writer", Bytes::from_static(b"handoff")).await;
         faas.invoke("reader", Bytes::new()).await.result.unwrap()
     });
-    assert_eq!(&got[..], b"handoff");
+    assert!(got.eq_bytes(b"handoff"));
 }
 
 #[test]
@@ -252,7 +252,7 @@ fn ec2_and_lambda_share_the_same_storage() {
     let got = c
         .sim
         .block_on(async move { faas.invoke("consume", Bytes::new()).await.result.unwrap() });
-    assert_eq!(&got[..], b"serverful");
+    assert!(got.eq_bytes(b"serverful"));
     vm.terminate();
     assert!(c.ledger.total_for(Service::Compute) > 0.0);
 }

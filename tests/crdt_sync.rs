@@ -65,7 +65,7 @@ fn gcounters_converge_through_eventually_consistent_storage() {
                     {
                         Ok(item) => {
                             let other =
-                                GCounter::decode(&item.value).expect("valid snapshot");
+                                GCounter::decode(&item.value.bytes()).expect("valid snapshot");
                             states.borrow_mut()[idx].merge(&other);
                         }
                         Err(KvError::NoSuchKey(_)) => {} // peer not seen yet
@@ -92,7 +92,7 @@ fn gcounters_converge_through_eventually_consistent_storage() {
                         )
                         .await
                     {
-                        let other = GCounter::decode(&item.value).expect("valid snapshot");
+                        let other = GCounter::decode(&item.value.bytes()).expect("valid snapshot");
                         states.borrow_mut()[idx].merge(&other);
                     }
                 }

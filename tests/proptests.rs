@@ -127,7 +127,7 @@ proptest! {
                         .unwrap();
                     let receipts: Vec<_> =
                         batch.iter().map(|m| m.receipt.clone()).collect();
-                    got.extend(batch.into_iter().map(|m| m.body[0]));
+                    got.extend(batch.into_iter().map(|m| m.body.bytes()[0]));
                     svc.delete_batch(&host, receipts).await.unwrap();
                 }
                 got
@@ -256,7 +256,8 @@ proptest! {
     #[test]
     fn codec_roundtrips(batches in prop::collection::vec(
         prop::collection::vec(any::<u8>(), 0..200), 0..12)) {
-        let items: Vec<Bytes> = batches.into_iter().map(Bytes::from).collect();
+        let items: Vec<faasim::payload::Payload> =
+            batches.into_iter().map(faasim::payload::Payload::from).collect();
         let encoded = encode_batch(&items);
         prop_assert_eq!(decode_batch(&encoded), Some(items));
     }
@@ -264,7 +265,8 @@ proptest! {
     #[test]
     fn codec_rejects_truncation(batches in prop::collection::vec(
         prop::collection::vec(any::<u8>(), 1..50), 1..6), cut in 1usize..8) {
-        let items: Vec<Bytes> = batches.into_iter().map(Bytes::from).collect();
+        let items: Vec<faasim::payload::Payload> =
+            batches.into_iter().map(faasim::payload::Payload::from).collect();
         let encoded = encode_batch(&items);
         let cut = cut.min(encoded.len() - 1).max(1);
         let truncated = encoded.slice(0..encoded.len() - cut);

@@ -42,7 +42,7 @@ fn mixed_workload_soak_preserves_global_invariants() {
             async move {
                 let batch = faasim::faas::decode_batch(&payload).expect("batch");
                 for item in &batch {
-                    let key = format!("item-{}", item[0]);
+                    let key = format!("item-{}", item.bytes()[0]);
                     let _ = kv
                         .get(ctx.host(), "soak", &key, Consistency::Eventual)
                         .await;
