@@ -4,7 +4,7 @@
 CARGO ?= cargo
 export CARGO_NET_OFFLINE = true
 
-.PHONY: build test test-all chaos-sweep bench bench-compare clean
+.PHONY: build test test-all chaos-sweep chaos-experiments bench bench-compare clean
 
 ## Release build of the whole workspace.
 build:
@@ -28,6 +28,14 @@ test-all:
 CHAOS_SEEDS ?= 16
 chaos-sweep: test
 	CHAOS_SEEDS=$(CHAOS_SEEDS) $(CARGO) run --release --example chaos_sweep
+
+## All eight paper experiments' `resilient()` variants, swept across
+## CHAOS_SEEDS seeds under both the calm and the hostile fault plan.
+## Every seed must satisfy the end-to-end invariants (exactly-once
+## effects, DLQ-aware message conservation, ledger consistency,
+## completion-or-declared-failure) and replay byte-identically.
+chaos-experiments: test
+	CHAOS_SEEDS=$(CHAOS_SEEDS) $(CARGO) run --release --example chaos_experiments
 
 ## Wall-clock performance baseline: DES-kernel events/sec, per-experiment
 ## wall-clock, and 64-seed sweep throughput (serial vs parallel). Writes

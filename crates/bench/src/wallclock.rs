@@ -159,10 +159,13 @@ pub fn run_kernel_benches() -> Vec<KernelBench> {
             });
             sim.stats().events_processed
         }),
-        kernel_bench("kernel/link_churn_500_flows", || {
+        kernel_bench("kernel/link_fanin_5k_flows", || {
+            // The data-shipping hot path: thousands of staggered flows
+            // fanning into one shared link, so every join/leave reshapes
+            // the fair share and churns the flow slab.
             let sim = Sim::new(BENCH_SEED);
             let link = FairShareLink::new(&sim, mbps(1000.0));
-            for i in 0..500u64 {
+            for i in 0..5_000u64 {
                 let l = link.clone();
                 let s = sim.clone();
                 sim.spawn(async move {

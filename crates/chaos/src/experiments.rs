@@ -1,0 +1,119 @@
+//! The paper's experiments as chaos scenarios: every `resilient()`
+//! variant from `faasim::experiments`, wrapped so the seed-sweep
+//! harness can drive all eight under a [`FaultPlan`] and hold them to
+//! the same standard as the synthetic scenarios — end-to-end invariants
+//! plus byte-identical replay at every seed.
+//!
+//! Under [`FaultPlan::calm`] this doubles as a regression net for the
+//! experiments themselves; under [`FaultPlan::hostile`] it is the
+//! paper's §2 platform contract made executable: at-least-once
+//! invocation, throttling storage, duplicating queues — and the
+//! resilience layer keeping every observable effect exactly-once.
+
+use faasim::experiments::{
+    agents_cmp, bandwidth, cold_starts, data_shipping, election, prediction, table1, training,
+};
+use faasim::experiments::ResilientReport;
+use faasim::Cloud;
+
+use crate::faults::FaultPlan;
+use crate::sweep::{RunReport, Scenario};
+
+/// Signature shared by every experiment's `resilient()` entry point.
+type ResilientFn = fn(u64, &dyn Fn(&Cloud)) -> ResilientReport;
+
+/// (calm name, hostile name, entry point) for each of the eight
+/// experiments. Names are static so [`Scenario::name`] can return them.
+const EXPERIMENTS: [(&str, &str, ResilientFn); 8] = [
+    ("table1/calm", "table1/hostile", table1::resilient),
+    ("cold_starts/calm", "cold_starts/hostile", cold_starts::resilient),
+    ("bandwidth/calm", "bandwidth/hostile", bandwidth::resilient),
+    (
+        "data_shipping/calm",
+        "data_shipping/hostile",
+        data_shipping::resilient,
+    ),
+    ("training/calm", "training/hostile", training::resilient),
+    ("prediction/calm", "prediction/hostile", prediction::resilient),
+    ("election/calm", "election/hostile", election::resilient),
+    ("agents_cmp/calm", "agents_cmp/hostile", agents_cmp::resilient),
+];
+
+/// One paper experiment's chaos-hardened variant, run under a fixed
+/// fault plan. Pure function of the seed, so the sweep harness can
+/// replay it and demand byte-identical digests.
+pub struct ExperimentScenario {
+    name: &'static str,
+    plan: FaultPlan,
+    entry: ResilientFn,
+}
+
+impl Scenario for ExperimentScenario {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn run(&self, seed: u64) -> RunReport {
+        let plan = self.plan.clone();
+        let report = (self.entry)(seed, &|cloud: &Cloud| plan.apply(cloud));
+        RunReport {
+            digest: report.probe.digests.join("\n"),
+            bill: report.probe.bills.join("\n"),
+            violations: report.violations,
+        }
+    }
+}
+
+/// All eight experiments under one fault plan: [`FaultPlan::hostile`]
+/// when `hostile`, [`FaultPlan::calm`] otherwise.
+pub fn experiment_scenarios(hostile: bool) -> Vec<ExperimentScenario> {
+    let plan = if hostile {
+        FaultPlan::hostile()
+    } else {
+        FaultPlan::calm()
+    };
+    EXPERIMENTS
+        .iter()
+        .map(|&(calm, hostile_name, entry)| ExperimentScenario {
+            name: if hostile { hostile_name } else { calm },
+            plan: plan.clone(),
+            entry,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::sweep;
+
+    #[test]
+    fn all_eight_experiments_are_wrapped() {
+        let calm = experiment_scenarios(false);
+        let hostile = experiment_scenarios(true);
+        assert_eq!(calm.len(), 8);
+        assert_eq!(hostile.len(), 8);
+        assert!(calm.iter().all(|s| s.name().ends_with("/calm")));
+        assert!(hostile.iter().all(|s| s.name().ends_with("/hostile")));
+    }
+
+    #[test]
+    fn cold_starts_survives_hostility_and_replays() {
+        let scenario = experiment_scenarios(true)
+            .into_iter()
+            .find(|s| s.name() == "cold_starts/hostile")
+            .expect("scenario");
+        let report = sweep(&scenario, &[11, 12]);
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn prediction_is_exactly_once_under_duplication() {
+        let scenario = experiment_scenarios(true)
+            .into_iter()
+            .find(|s| s.name() == "prediction/hostile")
+            .expect("scenario");
+        let report = sweep(&scenario, &[5]);
+        assert!(report.passed(), "{report}");
+    }
+}

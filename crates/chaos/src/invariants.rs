@@ -1,66 +1,22 @@
 //! Cross-cutting invariants a chaotic run must still satisfy.
 //!
-//! Fault injection is only useful if something checks that the system
-//! *under* fault keeps its promises. These checks are deliberately
-//! global — they read the shared [`Recorder`] and [`Ledger`] rather
-//! than scenario state, so every scenario gets them for free.
+//! The recorder/ledger-level checks live in `faasim-resilience` (so the
+//! core experiments can assert them without a dependency cycle); this
+//! module re-exports them and adds [`check_cloud`], the one-call bundle
+//! over a whole [`Cloud`].
 
 use faasim::Cloud;
-use faasim_pricing::Ledger;
-use faasim_simcore::Recorder;
 
-/// Message conservation: every message the fabric accepted must be
-/// accounted for as delivered, dropped (dead host / no socket),
-/// partitioned, or chaos-lost. Chaos may *reclassify* messages, but it
-/// must never make one vanish without a counter.
-pub fn message_conservation(recorder: &Recorder) -> Option<String> {
-    let sent = recorder.counter("net.messages_sent");
-    let delivered = recorder.counter("net.messages_delivered");
-    let dropped = recorder.counter("net.messages_dropped");
-    let partitioned = recorder.counter("net.messages_partitioned");
-    let lost = recorder.counter("net.messages_lost");
-    let accounted = delivered + dropped + partitioned + lost;
-    if sent != accounted {
-        return Some(format!(
-            "message conservation violated: sent={sent} != \
-             delivered={delivered} + dropped={dropped} + \
-             partitioned={partitioned} + lost={lost} (= {accounted})"
-        ));
-    }
-    None
-}
-
-/// Billing-ledger consistency: every line item finite and non-negative,
-/// per-service subtotals summing to the grand total. Chaos must never
-/// corrupt the bill — throttled and crashed requests are either billed
-/// like AWS bills them or not billed at all, but never billed NaN.
-pub fn ledger_consistent(ledger: &Ledger) -> Option<String> {
-    let items = ledger.breakdown();
-    let mut sum = 0.0;
-    for (service, item, quantity, dollars) in &items {
-        if !quantity.is_finite() || *quantity < 0.0 {
-            return Some(format!("bad quantity {quantity} for {service}/{item}"));
-        }
-        if !dollars.is_finite() || *dollars < 0.0 {
-            return Some(format!("bad charge ${dollars} for {service}/{item}"));
-        }
-        sum += dollars;
-    }
-    let total = ledger.total();
-    let tolerance = 1e-9 * (1.0 + total.abs());
-    if (total - sum).abs() > tolerance {
-        return Some(format!(
-            "ledger total ${total} != sum of line items ${sum}"
-        ));
-    }
-    None
-}
+pub use faasim_resilience::{ledger_consistent, message_conservation, queue_conservation};
 
 /// Run every global invariant against a cloud; returns the list of
 /// violations (empty means healthy).
 pub fn check_cloud(cloud: &Cloud) -> Vec<String> {
     let mut violations = Vec::new();
     if let Some(v) = message_conservation(&cloud.recorder) {
+        violations.push(v);
+    }
+    if let Some(v) = queue_conservation(&cloud.recorder, &cloud.queue) {
         violations.push(v);
     }
     if let Some(v) = ledger_consistent(&cloud.ledger) {
@@ -72,6 +28,8 @@ pub fn check_cloud(cloud: &Cloud) -> Vec<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use faasim_pricing::Ledger;
+    use faasim_simcore::Recorder;
 
     #[test]
     fn clean_recorder_and_ledger_pass() {
@@ -99,6 +57,57 @@ mod tests {
         r.add("net.messages_partitioned", 1);
         r.add("net.messages_lost", 1);
         assert_eq!(message_conservation(&r), None);
+    }
+
+    #[test]
+    fn queue_conservation_balances_through_dlq_flow() {
+        use faasim::{Cloud, CloudProfile};
+        use faasim_queue::{DeadLetterConfig, QueueConfig};
+        use faasim_simcore::SimDuration;
+
+        let cloud = Cloud::new(CloudProfile::aws_2018().exact(), 7);
+        cloud.queue.create_queue("dlq", QueueConfig::default());
+        cloud.queue.create_queue(
+            "q",
+            QueueConfig {
+                // Wider than the queue's RPC latency, so the receipt is
+                // still live when the delete lands.
+                visibility_timeout: SimDuration::from_millis(100),
+                dead_letter: Some(DeadLetterConfig {
+                    queue: "dlq".into(),
+                    max_receives: 2,
+                }),
+            },
+        );
+        let host = cloud.client_host();
+        let q = cloud.queue.clone();
+        let sim = cloud.sim.clone();
+        cloud.sim.block_on(async move {
+            q.send(&host, "q", "poison").await.unwrap();
+            q.send(&host, "q", "good").await.unwrap();
+            // First receive claims both; delete only one.
+            let got = q.receive(&host, "q", 10, SimDuration::ZERO).await.unwrap();
+            assert_eq!(got.len(), 2);
+            let keep = got
+                .into_iter()
+                .find(|m| m.body.eq_bytes(b"good"))
+                .unwrap();
+            q.delete(&host, keep.receipt).await.unwrap();
+            // Drive the poison message through its receive budget.
+            for _ in 0..3 {
+                sim.sleep(SimDuration::from_millis(150)).await;
+                let _ = q.receive(&host, "q", 10, SimDuration::ZERO).await.unwrap();
+            }
+        });
+        assert!(
+            cloud.recorder.counter("queue.dead_lettered") > 0,
+            "the poison message must have dead-lettered"
+        );
+        assert_eq!(
+            queue_conservation(&cloud.recorder, &cloud.queue),
+            None,
+            "enqueued == deleted + dead_lettered + remaining"
+        );
     }
 
     #[test]

@@ -35,18 +35,26 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-mod clients;
+mod experiments;
 mod faults;
 mod invariants;
 mod parallel;
-mod retry;
 mod scenarios;
 mod sweep;
 
-pub use clients::{RetryingBlob, RetryingKv};
+pub use experiments::{experiment_scenarios, ExperimentScenario};
 pub use faults::{FaultPlan, PartitionWindow};
-pub use invariants::{check_cloud, ledger_consistent, message_conservation};
+pub use invariants::{
+    check_cloud, ledger_consistent, message_conservation, queue_conservation,
+};
 pub use parallel::ParallelSweep;
-pub use retry::{RetryError, RetryPolicy};
+// The resilience layer grew into its own crate (`faasim-resilience`) so
+// the core experiments can use it without a dependency cycle; re-export
+// the whole surface here so chaos users keep a single import path.
+pub use faasim_resilience::{
+    hedged, BreakerConfig, BreakerError, BreakerState, CircuitBreaker, Deadline, DeleteOutcome,
+    Effect, IdempotencyStore, RetryError, RetryPolicy, RetryingBlob, RetryingInvoker, RetryingKv,
+    RetryingQueue,
+};
 pub use scenarios::{CrdtSync, QueuePipeline};
 pub use sweep::{sweep, RunReport, Scenario, SeedReport, SweepReport};

@@ -16,10 +16,10 @@ use faasim_kv::{Consistency, KvError};
 use faasim_queue::QueueConfig;
 use faasim_simcore::{LatencyModel, SimDuration};
 
-use crate::clients::RetryingKv;
+use faasim_resilience::RetryingKv;
 use crate::faults::FaultPlan;
 use crate::invariants::check_cloud;
-use crate::retry::RetryPolicy;
+use faasim_resilience::RetryPolicy;
 use crate::sweep::{RunReport, Scenario};
 
 fn base_profile() -> CloudProfile {

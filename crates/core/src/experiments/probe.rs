@@ -43,3 +43,35 @@ impl ExperimentProbe {
         self.digests.is_empty()
     }
 }
+
+/// What a `resilient()` experiment variant hands back: the determinism
+/// probe of every cloud it built, plus every end-to-end invariant
+/// violation it observed. An empty `violations` means the workload
+/// either completed correctly or declared failure cleanly — never
+/// silently corrupted state.
+#[derive(Clone, Debug, Default)]
+pub struct ResilientReport {
+    /// Byte-exact determinism probe (digests + bills, one per cloud).
+    pub probe: ExperimentProbe,
+    /// Human-readable invariant violations (empty means healthy).
+    pub violations: Vec<String>,
+}
+
+impl ResilientReport {
+    /// A report with nothing recorded yet.
+    pub fn new() -> ResilientReport {
+        ResilientReport::default()
+    }
+
+    /// Record a violation.
+    pub fn violation(&mut self, msg: impl Into<String>) {
+        self.violations.push(msg.into());
+    }
+
+    /// Record a violation unless `ok` holds.
+    pub fn check(&mut self, ok: bool, msg: impl FnOnce() -> String) {
+        if !ok {
+            self.violations.push(msg());
+        }
+    }
+}

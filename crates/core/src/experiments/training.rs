@@ -17,6 +17,7 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use faasim_faas::{FnError, FunctionSpec};
+use faasim_payload::Payload;
 use faasim_pricing::Service;
 use faasim_simcore::SimDuration;
 
@@ -159,12 +160,14 @@ fn run_lambda(params: &TrainingParams, seed: u64, probe: &mut ExperimentProbe) -
     let cloud = Cloud::new(CloudProfile::aws_2018().exact(), seed);
     cloud.blob.create_bucket("training");
     let batch_bytes = params.batch_mb * 1_000_000;
-    // One physical batch object stands in for all of them: `Bytes` is
-    // refcounted, and transfer time depends only on size (DESIGN.md §1.4).
+    // One symbolic batch object stands in for all of them: a
+    // [`Payload::zeros`] carries only its length, and transfer time
+    // depends only on size (DESIGN.md §1.4) — so the paper's 100 MB
+    // batch costs no RAM at all, not even once.
     {
         let blob = cloud.blob.clone();
         let host = cloud.client_host();
-        let data = Bytes::from(vec![0u8; batch_bytes as usize]);
+        let data = Payload::zeros(batch_bytes as usize);
         cloud.sim.block_on(async move {
             blob.put(&host, "training", "batch", data).await.unwrap();
         });
@@ -255,6 +258,125 @@ fn run_ec2(params: &TrainingParams, seed: u64, probe: &mut ExperimentProbe) -> T
         executions: 1,
         iterations_per_execution: total_iters as f64,
     }
+}
+
+/// Chaos-hardened variant of the Lambda training loop: batches are
+/// fetched through a [`RetryingBlob`](faasim_resilience::RetryingBlob),
+/// and the driver re-invokes through kills and timeouts until every
+/// iteration of a (reduced-scale) job has run. The iteration counter
+/// advances atomically between awaits, so interrupted executions resume
+/// where they left off and the invariant is an exact iteration count.
+pub fn resilient(seed: u64, chaos: &dyn Fn(&Cloud)) -> super::ResilientReport {
+    use faasim_resilience::{
+        ledger_consistent, message_conservation, queue_conservation, Deadline, RetryPolicy,
+        RetryingBlob,
+    };
+
+    let params = TrainingParams {
+        dataset_mb: 2_000, // 20 iterations: enough to span several kills
+        epochs: 1,
+        ..TrainingParams::default()
+    };
+    let total_iters = params.total_iterations();
+
+    let mut report = super::ResilientReport::new();
+    let cloud = Cloud::new(CloudProfile::aws_2018().exact(), seed);
+    chaos(&cloud);
+    cloud.blob.create_bucket("training");
+    let batch_bytes = params.batch_mb * 1_000_000;
+    let rblob = RetryingBlob::new(
+        &cloud.sim,
+        &cloud.blob,
+        cloud.recorder.clone(),
+        RetryPolicy {
+            max_attempts: 25,
+            ..RetryPolicy::default()
+        },
+        "resil.train.blob",
+    );
+    {
+        let blob = rblob.clone();
+        let host = cloud.client_host();
+        let data = Payload::zeros(batch_bytes as usize);
+        if let Err(e) = cloud
+            .sim
+            .block_on(async move { blob.put_payload(&host, "training", "batch", data).await })
+        {
+            report.violation(format!("training: populate batch: {e}"));
+        }
+    }
+
+    let done = Rc::new(Cell::new(0u64));
+    let blob = rblob.clone();
+    let d = done.clone();
+    let ref_work = params.iteration_ref_work;
+    cloud.faas.register(FunctionSpec::new(
+        "train",
+        params.lambda_memory_mb,
+        SimDuration::from_secs(900),
+        move |ctx, _payload| {
+            let blob = blob.clone();
+            let d = d.clone();
+            async move {
+                while d.get() < total_iters {
+                    if let Err(e) = blob.get(ctx.host(), "training", "batch").await {
+                        return Err(FnError::Handler(format!("batch fetch: {e}")));
+                    }
+                    ctx.cpu(ref_work).await;
+                    // No await between here and the loop check: a kill
+                    // can lose an in-flight iteration, never count one
+                    // twice.
+                    d.set(d.get() + 1);
+                }
+                Ok(Bytes::new())
+            }
+        },
+    ));
+
+    let faas = cloud.faas.clone();
+    let sim = cloud.sim.clone();
+    let done2 = done.clone();
+    let stuck = cloud.sim.block_on(async move {
+        let deadline = Deadline::within(&sim, SimDuration::from_secs(3_600));
+        while done2.get() < total_iters {
+            if deadline.is_expired(&sim) {
+                return Some(format!(
+                    "training stuck at {}/{total_iters} iterations within budget",
+                    done2.get()
+                ));
+            }
+            let out = faas.invoke("train", Bytes::new()).await;
+            match out.result {
+                Ok(_) => {}
+                Err(
+                    FnError::TimedOut { .. } | FnError::Crashed { .. } | FnError::Handler(_),
+                ) => sim.sleep(SimDuration::from_millis(50)).await,
+                Err(e) => return Some(format!("training failed fatally: {e}")),
+            }
+        }
+        None
+    });
+    if let Some(v) = stuck {
+        report.violation(format!("training: {v}"));
+    }
+    report.check(done.get() == total_iters, || {
+        format!(
+            "training: {}/{total_iters} iterations (must complete exactly)",
+            done.get()
+        )
+    });
+    cloud.sim.run();
+    if let Some(v) = message_conservation(&cloud.recorder) {
+        report.violation(format!("training: {v}"));
+    }
+    if let Some(v) = queue_conservation(&cloud.recorder, &cloud.queue) {
+        report.violation(format!("training: {v}"));
+    }
+    if let Some(v) = ledger_consistent(&cloud.ledger) {
+        report.violation(format!("training: {v}"));
+    }
+    report.probe.capture(&cloud);
+    report
 }
 
 #[cfg(test)]

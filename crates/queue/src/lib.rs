@@ -362,6 +362,13 @@ impl QueueService {
         }
         q.arrivals.notify_all();
         drop(st);
+        // Conservation ledger: every stored copy (including chaos
+        // duplicates and internal dead-letter moves) is accounted for,
+        // so `queue.enqueued == queue.deleted_messages +
+        // queue.dead_lettered + total_remaining()` holds at quiescence.
+        if total > 0 {
+            self.recorder.add("queue.enqueued", total);
+        }
         if duplicated > 0 {
             self.recorder.add("queue.chaos_duplicated", duplicated);
         }
@@ -536,25 +543,48 @@ impl QueueService {
         self.charge_request(1.0);
         let now = self.sim.now();
         let mut st = self.state.borrow_mut();
+        // Track how many messages this batch actually removed: on a
+        // partial failure the earlier receipts in the batch have already
+        // deleted their messages, and the conservation ledger must see
+        // them.
+        let mut removed = 0u64;
+        let mut failed: Option<QueueError> = None;
         for receipt in receipts {
-            let q = st
-                .queues
-                .get_mut(&receipt.queue)
-                .ok_or_else(|| QueueError::NoSuchQueue(receipt.queue.clone()))?;
+            let q = match st.queues.get_mut(&receipt.queue) {
+                Some(q) => q,
+                None => {
+                    failed = Some(QueueError::NoSuchQueue(receipt.queue.clone()));
+                    break;
+                }
+            };
             let msg = q
                 .messages
                 .iter_mut()
-                .find(|m| m.id == receipt.id && !m.deleted)
-                .ok_or(QueueError::InvalidReceipt)?;
+                .find(|m| m.id == receipt.id && !m.deleted);
             // A receipt is only valid while its generation holds the
             // message invisible.
-            if msg.generation != receipt.generation || msg.visible_at <= now {
-                return Err(QueueError::InvalidReceipt);
+            match msg {
+                Some(m) if m.generation == receipt.generation && m.visible_at > now => {
+                    m.deleted = true;
+                    removed += 1;
+                }
+                _ => {
+                    failed = Some(QueueError::InvalidReceipt);
+                    break;
+                }
             }
-            msg.deleted = true;
         }
-        self.recorder.incr("queue.delete");
-        Ok(())
+        drop(st);
+        if removed > 0 {
+            self.recorder.add("queue.deleted_messages", removed);
+        }
+        match failed {
+            Some(e) => Err(e),
+            None => {
+                self.recorder.incr("queue.delete");
+                Ok(())
+            }
+        }
     }
 
     /// Messages currently in the queue (visible or in flight).
@@ -565,6 +595,19 @@ impl QueueService {
             .get(queue)
             .map(|q| q.messages.iter().filter(|m| !m.deleted).count())
             .unwrap_or(0)
+    }
+
+    /// Messages still stored across *all* queues (visible or in
+    /// flight), dead-letter queues included — the "remaining" term of
+    /// the conservation invariant
+    /// `enqueued == deleted + dead_lettered + remaining`.
+    pub fn total_remaining(&self) -> u64 {
+        self.state
+            .borrow()
+            .queues
+            .values()
+            .map(|q| q.messages.iter().filter(|m| !m.deleted).count() as u64)
+            .sum()
     }
 
     /// Messages visible for receive right now.

@@ -1,0 +1,224 @@
+//! Property tests for the queue's at-least-once state machine.
+//!
+//! For arbitrary interleavings of sends, receives, deletes, and clock
+//! advances against a queue with a dead-letter policy, every message is
+//! in exactly one of four states — delivered-and-deleted, in flight,
+//! visible, or dead-lettered. Two properties must hold at every step
+//! and at the end of every run:
+//!
+//! - **terminal exclusivity**: a deleted message is never redelivered
+//!   and never dead-letters; a dead-lettered message is never deleted
+//!   from the origin queue (stale receipts are rejected);
+//! - **conservation**: nothing is ever silently lost — at quiescence
+//!   every sent message is either in the deleted set or the DLQ, and
+//!   the recorder's `enqueued == deleted + dead_lettered + remaining`
+//!   identity balances.
+
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use faasim_net::{Fabric, NetProfile, NicConfig};
+use faasim_payload::Payload;
+use faasim_pricing::{Ledger, PriceBook};
+use faasim_queue::{
+    DeadLetterConfig, QueueConfig, QueueError, QueueProfile, QueueService, ReceivedMessage,
+    Receipt,
+};
+use faasim_simcore::{mbps, Recorder, Sim, SimDuration};
+use proptest::prelude::*;
+
+const VISIBILITY: SimDuration = SimDuration::from_millis(100);
+const MAX_RECEIVES: u32 = 3;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Send the next uniquely-bodied message.
+    Send,
+    /// Receive up to `max` messages (zero wait).
+    Receive { max: usize },
+    /// Delete the `idx % held`-th outstanding receipt (may be stale).
+    DeleteHeld { idx: usize },
+    /// Advance the clock, possibly across visibility boundaries.
+    Sleep { ms: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Send),
+        (1usize..10).prop_map(|max| Op::Receive { max }),
+        (0usize..16).prop_map(|idx| Op::DeleteHeld { idx }),
+        (10u64..400).prop_map(|ms| Op::Sleep { ms }),
+    ]
+}
+
+fn setup(seed: u64) -> (Sim, QueueService, faasim_net::Host, Recorder) {
+    let sim = Sim::new(seed);
+    let recorder = Recorder::new();
+    let fabric = Fabric::new(&sim, NetProfile::aws_2018().exact(), recorder.clone());
+    let host = fabric.add_host(0, NicConfig::simple(mbps(10_000.0)));
+    let svc = QueueService::new(
+        &sim,
+        QueueProfile::aws_2018().exact(),
+        Rc::new(PriceBook::aws_2018()),
+        Ledger::new(),
+        recorder.clone(),
+    );
+    svc.create_queue("dlq", QueueConfig::default());
+    svc.create_queue(
+        "q",
+        QueueConfig {
+            visibility_timeout: VISIBILITY,
+            dead_letter: Some(DeadLetterConfig {
+                queue: "dlq".into(),
+                max_receives: MAX_RECEIVES,
+            }),
+        },
+    );
+    (sim, svc, host, recorder)
+}
+
+fn body_of(m: &ReceivedMessage) -> String {
+    String::from_utf8(m.body.to_vec()).expect("utf8 body")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn message_states_are_exclusive_and_nothing_is_lost(
+        seed in 0u64..10_000,
+        ops in prop::collection::vec(op_strategy(), 1..40),
+    ) {
+        let (sim, svc, host, recorder) = setup(seed);
+        let script = ops.clone();
+        let outcome = sim.clone().block_on(async move {
+            let mut sent: BTreeSet<String> = BTreeSet::new();
+            let mut deleted: BTreeSet<String> = BTreeSet::new();
+            let mut held: Vec<(String, Receipt)> = Vec::new();
+            let mut next = 0u32;
+            for op in &script {
+                match op {
+                    Op::Send => {
+                        let body = format!("m-{next:04}");
+                        next += 1;
+                        svc.send(&host, "q", Payload::inline(body.clone()))
+                            .await
+                            .expect("send");
+                        sent.insert(body);
+                    }
+                    Op::Receive { max } => {
+                        let got = svc
+                            .receive(&host, "q", *max, SimDuration::ZERO)
+                            .await
+                            .expect("receive");
+                        for m in got {
+                            let body = body_of(&m);
+                            if deleted.contains(&body) {
+                                return Err(format!("deleted message {body} was redelivered"));
+                            }
+                            held.push((body, m.receipt));
+                        }
+                    }
+                    Op::DeleteHeld { idx } => {
+                        if held.is_empty() {
+                            continue;
+                        }
+                        let (body, receipt) = held.remove(idx % held.len());
+                        match svc.delete(&host, receipt).await {
+                            Ok(()) => {
+                                // First successful delete of this body: the
+                                // queue must never hand it out again.
+                                deleted.insert(body);
+                            }
+                            // Stale receipt: the message was redelivered or
+                            // dead-lettered since this claim. Rejection IS
+                            // the correct behaviour — deleting through a
+                            // stale receipt could erase someone else's
+                            // in-flight claim.
+                            Err(QueueError::InvalidReceipt) => {}
+                            Err(e) => return Err(format!("delete failed oddly: {e}")),
+                        }
+                    }
+                    Op::Sleep { ms } => {
+                        sim.sleep(SimDuration::from_millis(*ms)).await;
+                    }
+                }
+            }
+
+            // Drive every undeleted message to its terminal state: stop
+            // deleting, keep receiving, and let the receive budget move
+            // the remainder to the DLQ.
+            let mut spins = 0;
+            while svc.queue_len("q") > 0 {
+                spins += 1;
+                if spins > 200 {
+                    return Err(format!(
+                        "queue did not drain: {} messages still present",
+                        svc.queue_len("q")
+                    ));
+                }
+                sim.sleep(VISIBILITY + SimDuration::from_millis(50)).await;
+                let got = svc
+                    .receive(&host, "q", 10, SimDuration::ZERO)
+                    .await
+                    .expect("drain receive");
+                for m in got {
+                    let body = body_of(&m);
+                    if deleted.contains(&body) {
+                        return Err(format!("deleted message {body} was redelivered"));
+                    }
+                }
+            }
+
+            // Empty the DLQ, collecting terminal dead-lettered bodies.
+            let mut dead: BTreeSet<String> = BTreeSet::new();
+            loop {
+                let got = svc
+                    .receive(&host, "dlq", 10, SimDuration::ZERO)
+                    .await
+                    .expect("dlq receive");
+                if got.is_empty() {
+                    break;
+                }
+                for m in got {
+                    let body = body_of(&m);
+                    if deleted.contains(&body) {
+                        return Err(format!("{body} is both deleted and dead-lettered"));
+                    }
+                    if !dead.insert(body.clone()) {
+                        return Err(format!("{body} dead-lettered twice"));
+                    }
+                    svc.delete(&host, m.receipt).await.expect("dlq delete");
+                }
+            }
+
+            // Conservation: every sent message reached exactly one
+            // terminal state.
+            let mut accounted = deleted.clone();
+            accounted.extend(dead.iter().cloned());
+            if accounted != sent {
+                return Err(format!(
+                    "lost or invented messages: sent {} != deleted {} + dead {}",
+                    sent.len(),
+                    deleted.len(),
+                    dead.len()
+                ));
+            }
+            Ok(svc.total_remaining())
+        });
+        let remaining = match outcome {
+            Ok(n) => n,
+            Err(msg) => panic!("invariant violated with ops {ops:?}: {msg}"),
+        };
+        prop_assert_eq!(remaining, 0, "queues must be empty at quiescence");
+        // Counter identity at quiescence.
+        let enqueued = recorder.counter("queue.enqueued");
+        let del = recorder.counter("queue.deleted_messages");
+        let dl = recorder.counter("queue.dead_lettered");
+        prop_assert_eq!(
+            enqueued,
+            del + dl,
+            "enqueued != deleted + dead_lettered at empty queues"
+        );
+    }
+}

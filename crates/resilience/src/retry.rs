@@ -1,10 +1,13 @@
 //! Exponential backoff with bounded jitter, plus a generic retry
-//! driver with optional per-call timeouts.
+//! driver with optional per-call timeouts and deadline budgets.
 //!
 //! The paper's §2 compositions only work because every client retries:
 //! SQS is at-least-once, DynamoDB throttles, S3 returns 503 SlowDown.
 //! [`RetryPolicy`] is that discipline made explicit — and, because the
 //! jitter comes from a named simulation RNG stream, made deterministic.
+//! [`RetryPolicy::run_within`] is the budgeted variant: every backoff
+//! sleep and per-call timeout is capped so the whole retry loop fits
+//! inside a propagated [`Deadline`].
 
 use std::cell::RefCell;
 use std::fmt;
@@ -12,6 +15,8 @@ use std::future::Future;
 use std::rc::Rc;
 
 use faasim_simcore::{Sim, SimDuration, SimRng};
+
+use crate::deadline::Deadline;
 
 /// Why a retried operation ultimately failed.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -28,6 +33,13 @@ pub enum RetryError<E> {
         /// Attempts made.
         attempts: u32,
     },
+    /// The deadline budget ran out before an attempt could succeed.
+    /// Only produced by [`RetryPolicy::run_within`] and the budgeted
+    /// clients built on it.
+    DeadlineExceeded {
+        /// Attempts made before the budget expired.
+        attempts: u32,
+    },
     /// A non-transient error: surfaced immediately, never retried.
     Fatal(E),
 }
@@ -41,12 +53,19 @@ impl<E> RetryError<E> {
         }
     }
 
-    /// The final underlying error, if one exists (timeouts have none).
+    /// The final underlying error, if one exists (timeouts and expired
+    /// deadlines have none).
     pub fn into_inner(self) -> Option<E> {
         match self {
             RetryError::Exhausted { last, .. } | RetryError::Fatal(last) => Some(last),
-            RetryError::TimedOut { .. } => None,
+            RetryError::TimedOut { .. } | RetryError::DeadlineExceeded { .. } => None,
         }
+    }
+
+    /// Whether the failure was the deadline budget expiring rather than
+    /// the operation itself failing for good.
+    pub fn is_deadline(&self) -> bool {
+        matches!(self, RetryError::DeadlineExceeded { .. })
     }
 }
 
@@ -58,6 +77,9 @@ impl<E: fmt::Display> fmt::Display for RetryError<E> {
             }
             RetryError::TimedOut { attempts } => {
                 write!(f, "gave up after {attempts} attempts: call timed out")
+            }
+            RetryError::DeadlineExceeded { attempts } => {
+                write!(f, "deadline budget expired after {attempts} attempts")
             }
             RetryError::Fatal(e) => write!(f, "fatal (not retried): {e}"),
         }
@@ -154,6 +176,27 @@ impl RetryPolicy {
         sim: &Sim,
         rng: &Rc<RefCell<SimRng>>,
         is_transient: impl Fn(&E) -> bool,
+        op: impl FnMut() -> Fut,
+    ) -> Result<T, RetryError<E>>
+    where
+        Fut: Future<Output = Result<T, E>>,
+    {
+        self.run_within(sim, rng, Deadline::unbounded(), is_transient, op)
+            .await
+    }
+
+    /// [`RetryPolicy::run`], but every sleep and call fits inside
+    /// `deadline`: per-call timeouts are capped at the remaining budget,
+    /// and a backoff sleep that would cross the deadline aborts the loop
+    /// with [`RetryError::DeadlineExceeded`] instead of sleeping.
+    ///
+    /// With [`Deadline::unbounded`] this is exactly [`RetryPolicy::run`].
+    pub async fn run_within<T, E, Fut>(
+        &self,
+        sim: &Sim,
+        rng: &Rc<RefCell<SimRng>>,
+        deadline: Deadline,
+        is_transient: impl Fn(&E) -> bool,
         mut op: impl FnMut() -> Fut,
     ) -> Result<T, RetryError<E>>
     where
@@ -164,9 +207,25 @@ impl RetryPolicy {
         for attempt in 0..attempts {
             if attempt > 0 {
                 let d = self.delay(attempt - 1, &mut rng.borrow_mut());
+                if deadline.remaining(sim) <= d {
+                    return Err(RetryError::DeadlineExceeded { attempts: attempt });
+                }
                 sim.sleep(d).await;
             }
-            let outcome = match self.call_timeout {
+            let remaining = deadline.remaining(sim);
+            if remaining == SimDuration::ZERO {
+                return Err(RetryError::DeadlineExceeded { attempts: attempt });
+            }
+            // Cap the per-call race at whatever budget is left; an
+            // unbounded deadline leaves the policy's own timeout (or
+            // none) in charge.
+            let limit = match (self.call_timeout, deadline.is_unbounded()) {
+                (Some(t), false) => Some(t.min(remaining)),
+                (Some(t), true) => Some(t),
+                (None, false) => Some(remaining),
+                (None, true) => None,
+            };
+            let outcome = match limit {
                 Some(limit) => sim.timeout(limit, op()).await,
                 None => Some(op().await),
             };
@@ -179,6 +238,11 @@ impl RetryPolicy {
                     });
                 }
                 Some(Err(e)) => return Err(RetryError::Fatal(e)),
+                None if deadline.is_expired(sim) => {
+                    return Err(RetryError::DeadlineExceeded {
+                        attempts: attempt + 1,
+                    });
+                }
                 None => {
                     last = Some(RetryError::TimedOut {
                         attempts: attempt + 1,
@@ -193,6 +257,7 @@ impl RetryPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use faasim_simcore::SimTime;
 
     fn policy() -> RetryPolicy {
         RetryPolicy::default()
@@ -278,5 +343,72 @@ mod tests {
             .await
         });
         assert_eq!(got, Err(RetryError::TimedOut { attempts: 2 }));
+    }
+
+    #[test]
+    fn run_within_respects_the_budget() {
+        let sim = Sim::new(1);
+        let rng = Rc::new(RefCell::new(sim.rng("retry")));
+        let mut p = policy();
+        p.max_attempts = 100;
+        p.jitter = 0.0;
+        let sim2 = sim.clone();
+        let sim3 = sim.clone();
+        let deadline = Deadline::at(SimTime::ZERO + SimDuration::from_secs(2));
+        let got: Result<(), RetryError<&str>> = sim.block_on(async move {
+            p.run_within(&sim2, &rng, deadline, |_| true, move || {
+                let sim3 = sim3.clone();
+                async move {
+                    sim3.sleep(SimDuration::from_millis(100)).await;
+                    Err("flaky")
+                }
+            })
+            .await
+        });
+        // The loop must end on the budget, not on max_attempts.
+        match got {
+            Err(RetryError::DeadlineExceeded { attempts }) => {
+                assert!(attempts > 0 && attempts < 100, "attempts = {attempts}")
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert!(sim.now() <= SimTime::ZERO + SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn run_within_classifies_budget_expiry_mid_call() {
+        let sim = Sim::new(1);
+        let rng = Rc::new(RefCell::new(sim.rng("retry")));
+        let mut p = policy();
+        p.max_attempts = 3;
+        let sim2 = sim.clone();
+        let sim3 = sim.clone();
+        let deadline = Deadline::at(SimTime::ZERO + SimDuration::from_millis(10));
+        let got: Result<(), RetryError<&str>> = sim.block_on(async move {
+            p.run_within(&sim2, &rng, deadline, |_| true, move || {
+                let sim3 = sim3.clone();
+                async move {
+                    sim3.sleep(SimDuration::from_secs(5)).await;
+                    Ok(())
+                }
+            })
+            .await
+        });
+        assert_eq!(got, Err(RetryError::DeadlineExceeded { attempts: 1 }));
+    }
+
+    #[test]
+    fn unbounded_run_within_equals_run() {
+        let sim = Sim::new(1);
+        let rng = Rc::new(RefCell::new(sim.rng("retry")));
+        let p = policy();
+        let sim2 = sim.clone();
+        let got: Result<u32, RetryError<&str>> = sim.block_on(async move {
+            p.run_within(&sim2, &rng, Deadline::unbounded(), |_| true, || async {
+                Ok(7)
+            })
+            .await
+        });
+        assert_eq!(got, Ok(7));
     }
 }
