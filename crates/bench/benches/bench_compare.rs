@@ -1,12 +1,15 @@
 //! `make bench-compare`: re-run the wall-clock suite and gate it
 //! against the committed `BENCH_baseline.json`.
 //!
-//! Exits nonzero if any kernel bench's events/sec or any experiment's
-//! wall-clock is more than `BENCH_COMPARE_TOLERANCE` (default 0.25 =
-//! 25%) worse than the baseline. `BENCH_SWEEP_SEEDS` shrinks the chaos
-//! sweep for smoke runs (CI uses 4); the sweep is timed but not gated,
-//! since seeds-per-sec at 4 seeds is not comparable to the 64-seed
-//! baseline.
+//! Exits nonzero if any kernel bench's events/sec, any experiment's
+//! wall-clock, or the chaos sweep's seeds/sec is more than
+//! `BENCH_COMPARE_TOLERANCE` (default 0.25 = 25%) worse than the
+//! baseline. Sweep throughput is per-seed normalized, so
+//! `BENCH_SWEEP_SEEDS` can shrink the sweep for smoke runs (CI uses 4)
+//! and still gate against the 64-seed baseline — though runs under the
+//! noise floor (~50 ms per arm) are reported but not gated, and the
+//! parallel arm is only gated when this machine's worker count matches
+//! the baseline's.
 
 use faasim_bench::{compare, wallclock};
 

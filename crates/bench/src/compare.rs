@@ -3,10 +3,13 @@
 //!
 //! Re-runs the [`crate::wallclock`] suite and diffs it against the
 //! committed `BENCH_baseline.json`: kernel benches on **events/sec**,
-//! experiments on **wall-clock ratio**. Any entry more than the
-//! tolerance (default 25%) slower than the baseline fails the gate with
-//! a nonzero exit, so a PR that quietly regresses the simulator's
-//! throughput turns red in CI.
+//! experiments on **wall-clock ratio**, and the chaos sweep on
+//! **seeds/sec** (per-seed normalized, so a 4-seed CI smoke gates
+//! against a 64-seed baseline; the parallel arm only when the worker
+//! count matches the baseline's). Any entry more than the tolerance
+//! (default 25%) slower than the baseline fails the gate with a nonzero
+//! exit, so a PR that quietly regresses the simulator's throughput
+//! turns red in CI.
 //!
 //! The baseline file is our own schema (`faasim-bench/wallclock/1`) and
 //! the build is offline, so parsing is a small hand-rolled extractor
@@ -23,6 +26,21 @@ pub struct BaselineNumbers {
     pub kernel: Vec<(String, f64)>,
     /// Experiment name → host seconds.
     pub experiments: Vec<(String, f64)>,
+    /// Chaos-sweep throughput, if the baseline recorded one.
+    pub sweep: Option<SweepNumbers>,
+}
+
+/// The baseline's chaos-sweep arm.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepNumbers {
+    /// Seeds the baseline swept.
+    pub seeds: f64,
+    /// Worker threads its parallel arm used.
+    pub workers: f64,
+    /// Host seconds, serial arm.
+    pub serial_secs: f64,
+    /// Host seconds, parallel arm.
+    pub parallel_secs: f64,
 }
 
 /// One entry that breached the tolerance.
@@ -65,6 +83,17 @@ fn array_section<'a>(json: &'a str, key: &str) -> Option<&'a str> {
     Some(&json[start..end])
 }
 
+/// The body of the `"key": { ... }` object in `json`. Scoping matters:
+/// keys like `"cores"` appear both top-level and inside `"sweep"`, so
+/// sweep fields must be extracted from this section, never the whole
+/// file.
+fn object_section<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": {{");
+    let start = json.find(&pat)? + pat.len();
+    let end = json[start..].find('}')? + start;
+    Some(&json[start..end])
+}
+
 /// Split an array body into the `{...}` object bodies it contains.
 fn objects(section: &str) -> Vec<&str> {
     let mut out = Vec::new();
@@ -96,12 +125,27 @@ pub fn parse_baseline(json: &str) -> Option<BaselineNumbers> {
             .experiments
             .push((field_str(obj, "name")?, field_f64(obj, "wall_secs")?));
     }
+    // Older baselines may predate sweep gating: absent numbers simply
+    // leave the sweep ungated rather than rejecting the file.
+    numbers.sweep = object_section(json, "sweep").and_then(|obj| {
+        Some(SweepNumbers {
+            seeds: field_f64(obj, "seeds")?,
+            workers: field_f64(obj, "workers")?,
+            serial_secs: field_f64(obj, "serial_secs")?,
+            parallel_secs: field_f64(obj, "parallel_secs")?,
+        })
+    });
     Some(numbers)
 }
 
 /// Experiments faster than this in both runs are never flagged: at
 /// sub-10 ms scale the measurement is scheduler noise, not a trend.
 const WALL_NOISE_FLOOR_SECS: f64 = 0.010;
+
+/// A sweep arm faster than this (in either run) is never gated: a
+/// handful of smoke seeds finishes in milliseconds, where per-seed
+/// normalization amplifies startup noise instead of measuring a trend.
+const SWEEP_NOISE_FLOOR_SECS: f64 = 0.050;
 
 /// Diff `current` against `baseline` with a relative `tolerance`
 /// (0.25 = fail beyond 25% slower). Returns the human-readable report
@@ -187,6 +231,85 @@ pub fn compare(
     for (name, _) in &baseline.experiments {
         if !current.experiments.iter().any(|e| &e.name == name) {
             writeln!(out, "{name:<34} dropped from suite (not a failure)").unwrap();
+        }
+    }
+
+    writeln!(out).unwrap();
+    let s = &current.sweep;
+    match &baseline.sweep {
+        None => {
+            writeln!(out, "sweep: baseline has no sweep numbers (not gated)").unwrap();
+        }
+        Some(b) => {
+            // Seeds/sec is already per-seed normalized: the serial arm
+            // scales linearly in seed count, so a 4-seed smoke gates
+            // cleanly against a 64-seed baseline.
+            let base_sps = b.seeds / b.serial_secs.max(1e-9);
+            let now_sps = s.serial_seeds_per_sec();
+            let ratio = now_sps / base_sps.max(1e-9);
+            let measurable =
+                b.serial_secs > SWEEP_NOISE_FLOOR_SECS && s.serial_secs > SWEEP_NOISE_FLOOR_SECS;
+            let bad = measurable && ratio < 1.0 - tolerance;
+            writeln!(
+                out,
+                "{:<34} {base_sps:>14.1} {now_sps:>14.1} {ratio:>7.2}x  {}",
+                format!("sweep/serial ({} seeds)", s.seeds),
+                if bad {
+                    "REGRESSION"
+                } else if measurable {
+                    "ok"
+                } else {
+                    "too fast to gate"
+                }
+            )
+            .unwrap();
+            if bad {
+                regressions.push(Regression {
+                    name: "sweep/serial".to_owned(),
+                    metric: "seeds/sec",
+                    baseline: base_sps,
+                    current: now_sps,
+                });
+            }
+            // The parallel arm's fan-out overhead depends on the pool
+            // size, which does not normalize away: gate it only when
+            // this machine used the same worker count as the baseline.
+            if (s.workers as f64 - b.workers).abs() < 0.5 {
+                let base_psps = b.seeds / b.parallel_secs.max(1e-9);
+                let now_psps = s.parallel_seeds_per_sec();
+                let ratio = now_psps / base_psps.max(1e-9);
+                let measurable = b.parallel_secs > SWEEP_NOISE_FLOOR_SECS
+                    && s.parallel_secs > SWEEP_NOISE_FLOOR_SECS;
+                let bad = measurable && ratio < 1.0 - tolerance;
+                writeln!(
+                    out,
+                    "{:<34} {base_psps:>14.1} {now_psps:>14.1} {ratio:>7.2}x  {}",
+                    format!("sweep/parallel ({} workers)", s.workers),
+                    if bad {
+                        "REGRESSION"
+                    } else if measurable {
+                        "ok"
+                    } else {
+                        "too fast to gate"
+                    }
+                )
+                .unwrap();
+                if bad {
+                    regressions.push(Regression {
+                        name: "sweep/parallel".to_owned(),
+                        metric: "seeds/sec",
+                        baseline: base_psps,
+                        current: now_psps,
+                    });
+                }
+            } else {
+                writeln!(
+                    out,
+                    "sweep/parallel: {} workers vs baseline {} (not gated)",
+                    s.workers, b.workers
+                )
+                .unwrap();
+            }
         }
     }
 
@@ -294,6 +417,75 @@ mod tests {
         assert!(regressions.is_empty(), "{report}");
         assert!(report.contains("new"));
         assert!(report.contains("dropped from suite"));
+    }
+
+    #[test]
+    fn sweep_gate_normalizes_across_seed_counts() {
+        // Current run: 4 seeds in 1 s = 4 seeds/s on both arms.
+        let current = sample_current();
+        let mut base = parse_baseline(&current.to_json()).unwrap();
+        // Baseline took 64 seeds in 16 s — the same 4 seeds/s — so a
+        // 16x smaller smoke run still gates clean.
+        base.sweep = Some(SweepNumbers {
+            seeds: 64.0,
+            workers: 1.0,
+            serial_secs: 16.0,
+            parallel_secs: 16.0,
+        });
+        let (report, regressions) = compare(&base, &current, 0.25);
+        assert!(regressions.is_empty(), "{report}");
+        // Baseline at 8 seeds/s: we now run at half that rate — fail,
+        // on both arms (workers match).
+        base.sweep = Some(SweepNumbers {
+            seeds: 64.0,
+            workers: 1.0,
+            serial_secs: 8.0,
+            parallel_secs: 8.0,
+        });
+        let (report, regressions) = compare(&base, &current, 0.25);
+        assert_eq!(regressions.len(), 2, "{report}");
+        assert_eq!(regressions[0].name, "sweep/serial");
+        assert_eq!(regressions[0].metric, "seeds/sec");
+        assert_eq!(regressions[1].name, "sweep/parallel");
+        assert!(report.contains("bench-compare: FAIL"));
+    }
+
+    #[test]
+    fn sweep_parallel_arm_gated_only_with_matching_workers() {
+        let current = sample_current(); // parallel arm: 1 worker
+        let mut base = parse_baseline(&current.to_json()).unwrap();
+        base.sweep = Some(SweepNumbers {
+            seeds: 64.0,
+            workers: 8.0, // baseline machine fanned out 8-wide
+            serial_secs: 16.0,
+            parallel_secs: 2.0, // 32 seeds/s we could never match 1-wide
+        });
+        let (report, regressions) = compare(&base, &current, 0.25);
+        assert!(regressions.is_empty(), "{report}");
+        assert!(report.contains("not gated"), "{report}");
+    }
+
+    #[test]
+    fn sweep_noise_floor_and_missing_numbers_skip_the_gate() {
+        // A millisecond-scale smoke sweep is never gated.
+        let mut current = sample_current();
+        current.sweep.serial_secs = 0.004;
+        current.sweep.parallel_secs = 0.004;
+        let mut base = parse_baseline(&sample_current().to_json()).unwrap();
+        base.sweep = Some(SweepNumbers {
+            seeds: 64.0,
+            workers: 1.0,
+            serial_secs: 1.0, // 64 seeds/s; we measure 1000/s anyway
+            parallel_secs: 1.0,
+        });
+        let (report, regressions) = compare(&base, &current, 0.25);
+        assert!(regressions.is_empty(), "{report}");
+        assert!(report.contains("too fast to gate"), "{report}");
+        // A pre-sweep-gate baseline leaves the sweep ungated.
+        base.sweep = None;
+        let (report, regressions) = compare(&base, &current, 0.25);
+        assert!(regressions.is_empty(), "{report}");
+        assert!(report.contains("no sweep numbers"), "{report}");
     }
 
     #[test]

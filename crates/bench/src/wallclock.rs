@@ -15,12 +15,19 @@
 //! `cargo bench -p faasim-bench --bench wallclock`).
 
 use std::fmt::Write as _;
+use std::rc::Rc;
 use std::time::Instant;
 
+use bytes::Bytes;
+use faasim::blob::{BlobProfile, BlobStore};
 use faasim::experiments::{
     agents_cmp, bandwidth, cold_starts, data_shipping, election, prediction, table1, training,
 };
-use faasim::simcore::{mbps, FairShareLink, Sim, SimDuration};
+use faasim::net::{Fabric, Host, NetProfile, NicConfig};
+use faasim::payload::Payload;
+use faasim::pricing::{Ledger, PriceBook};
+use faasim::query::{Aggregate, QueryProfile, QueryService, QuerySpec};
+use faasim::simcore::{gbps, mbps, FairShareLink, Recorder, Sim, SimDuration};
 use faasim_chaos::{sweep, CrdtSync, ParallelSweep};
 
 use crate::BENCH_SEED;
@@ -110,6 +117,17 @@ fn time<T>(f: impl FnOnce() -> T) -> (f64, T) {
     (start.elapsed().as_secs_f64(), out)
 }
 
+/// Kernel and experiment timings are best-of-N **suite rounds**: on a
+/// shared host, single-shot wall-clock is right-skewed by interference
+/// (another tenant's burst can double a 20 ms measurement), and the
+/// minimum of a few runs is the classic antidote — it estimates the
+/// undisturbed cost, which is what the regression gate wants to track.
+/// The rounds loop over the whole suite rather than re-running each
+/// bench back-to-back, so the N samples of any one bench are separated
+/// by seconds: a load burst that swallows one round rarely survives
+/// into the next.
+const BENCH_RUNS: usize = 3;
+
 fn kernel_bench(name: &str, f: impl FnOnce() -> u64) -> KernelBench {
     let (wall_secs, events) = time(f);
     KernelBench {
@@ -119,9 +137,37 @@ fn kernel_bench(name: &str, f: impl FnOnce() -> u64) -> KernelBench {
     }
 }
 
-/// The DES-kernel microbenchmarks: each returns the kernel's event count
-/// so the score is events/sec, not iterations/sec.
+/// Fold one suite round into the best-of-rounds accumulator: keep the
+/// fastest wall-clock per entry (event counts are deterministic and
+/// must agree across rounds).
+fn merge_min_wall(acc: &mut Vec<KernelBench>, round: Vec<KernelBench>) {
+    if acc.is_empty() {
+        *acc = round;
+        return;
+    }
+    for (best, sample) in acc.iter_mut().zip(round) {
+        assert_eq!(best.name, sample.name, "bench rounds must line up");
+        assert_eq!(best.events, sample.events, "{}: nondeterministic events", best.name);
+        best.wall_secs = best.wall_secs.min(sample.wall_secs);
+    }
+}
+
+/// One round of the DES-kernel microbenchmarks: each returns the
+/// kernel's event count so the score is events/sec, not iterations/sec.
+/// [`run_baseline`] runs [`BENCH_RUNS`] rounds and keeps the fastest
+/// wall-clock per bench.
 pub fn run_kernel_benches() -> Vec<KernelBench> {
+    let mut out = base_kernel_benches();
+    out.extend(query_scan_kernel_benches(
+        10 * 1024 * 1024,   // 10 inline objects of ~10 MB -> a ~100 MB corpus
+        10,
+        1024 * 1024 * 1024, // 30 synthetic objects of 1 GB -> the 30 GB paper scale
+        30,
+    ));
+    out
+}
+
+fn base_kernel_benches() -> Vec<KernelBench> {
     vec![
         kernel_bench("kernel/sequential_sleeps_100k", || {
             let sim = Sim::new(BENCH_SEED);
@@ -180,7 +226,156 @@ pub fn run_kernel_benches() -> Vec<KernelBench> {
     ]
 }
 
-/// Wall-clock each of the eight experiments at `quick()` params.
+/// A minimal blob + query world for the scan benches. Exact profiles so
+/// the simulated timeline is deterministic and the wall-clock measures
+/// the scan pipeline, not RNG noise.
+fn query_scan_world() -> (Sim, BlobStore, QueryService, Host) {
+    let sim = Sim::new(BENCH_SEED);
+    let recorder = Recorder::new();
+    let fabric = Fabric::new(&sim, NetProfile::aws_2018().exact(), recorder.clone());
+    let prices = Rc::new(PriceBook::aws_2018());
+    let ledger = Ledger::new();
+    let blob = BlobStore::new(
+        &sim,
+        BlobProfile::aws_2018().exact(),
+        prices.clone(),
+        ledger.clone(),
+        recorder.clone(),
+    );
+    blob.create_bucket("logs");
+    let query = QueryService::new(
+        &sim,
+        &fabric,
+        &blob,
+        QueryProfile::aws_2018().exact(),
+        prices,
+        ledger,
+        recorder,
+    );
+    let client = fabric.add_host(1, NicConfig::simple(gbps(1.0)));
+    (sim, blob, query, client)
+}
+
+/// ~`bytes` of varied access-log lines (whole lines only, so the object
+/// may run a few bytes over).
+fn inline_log_object(bytes: usize, salt: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bytes + 64);
+    let mut i = salt;
+    while out.len() < bytes {
+        let line = format!("GET /p/{} {} {}\n", i % 997, 200 + (i % 4) * 101, i % 31);
+        out.extend_from_slice(line.as_bytes());
+        i += 1;
+    }
+    out
+}
+
+/// Host-side replica of the pre-streaming scan: materialize every
+/// object, then one eager pass that builds the full distinct-line
+/// `BTreeMap<String, u64>` — a `String` allocation per line visit —
+/// exactly like the old `Accumulator` did regardless of the aggregate.
+/// Returns the line count so its `events` are comparable 1:1 with the
+/// streaming bench.
+fn eager_reference_scan(objects: &[Vec<u8>]) -> u64 {
+    let mut lines: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for obj in objects {
+        for line in obj.split(|&b| b == b'\n') {
+            let line = match line.last() {
+                Some(b'\r') => &line[..line.len() - 1],
+                _ => line,
+            };
+            if line.is_empty() {
+                continue;
+            }
+            *lines
+                .entry(String::from_utf8_lossy(line).into_owned())
+                .or_default() += 1;
+        }
+    }
+    lines.values().sum()
+}
+
+/// The query-scan benches. `events` is the number of log lines the
+/// query counted, so `events/sec` is a line-scan rate and the
+/// streaming-vs-eager pair compares directly (same corpus, same count):
+///
+/// - `query_scan_inline_100mb`: the streaming pipeline over real inline
+///   bytes — ranged reads, chunked folds, zero-allocation `CountAll`;
+/// - `query_scan_inline_100mb_eager`: the pre-streaming reference scan
+///   over the identical corpus (fetch-all + distinct-line histogram);
+/// - `query_scan_synthetic_30gb`: the paper-scale corpus as symbolic
+///   `Synthetic` payloads — the scan folds per-pattern results scaled by
+///   the repeat count, so 30 GB is queried without materializing it.
+fn query_scan_kernel_benches(
+    inline_object_bytes: usize,
+    inline_objects: usize,
+    synth_object_bytes: u64,
+    synth_objects: usize,
+) -> Vec<KernelBench> {
+    // The corpus is shared by both inline arms and built outside the
+    // timed sections.
+    let corpus: Vec<Vec<u8>> = (0..inline_objects)
+        .map(|i| inline_log_object(inline_object_bytes, i as u64 * 1_000_003))
+        .collect();
+
+    let (sim, blob, query, client) = query_scan_world();
+    for (i, obj) in corpus.iter().enumerate() {
+        let blob = blob.clone();
+        let client = client.clone();
+        let body = Bytes::from(obj.clone());
+        let key = format!("obj-{i:03}");
+        sim.block_on(async move {
+            blob.put(&client, "logs", &key, body).await.expect("put");
+        });
+    }
+    let streaming = kernel_bench("kernel/query_scan_inline_100mb", || {
+        let q = query.clone();
+        let c = client.clone();
+        let out = sim
+            .block_on(async move {
+                q.run(&c, QuerySpec::new("logs", "obj-", Aggregate::CountAll))
+                    .await
+            })
+            .expect("query");
+        out.rows[0].1 as u64
+    });
+
+    let eager = kernel_bench("kernel/query_scan_inline_100mb_eager", || {
+        eager_reference_scan(&corpus)
+    });
+    assert_eq!(
+        streaming.events, eager.events,
+        "streaming and eager scans must count the same lines"
+    );
+
+    let (sim, blob, query, client) = query_scan_world();
+    let line = "GET /assets/app.js 200\n";
+    let reps = synth_object_bytes / line.len() as u64;
+    for i in 0..synth_objects {
+        let blob = blob.clone();
+        let client = client.clone();
+        let body = Payload::synthetic(line, reps);
+        let key = format!("part-{i:04}");
+        sim.block_on(async move {
+            blob.put(&client, "logs", &key, body).await.expect("put");
+        });
+    }
+    let synthetic = kernel_bench("kernel/query_scan_synthetic_30gb", || {
+        let q = query.clone();
+        let c = client.clone();
+        let out = sim
+            .block_on(async move {
+                q.run(&c, QuerySpec::new("logs", "part-", Aggregate::CountAll))
+                    .await
+            })
+            .expect("query");
+        out.rows[0].1 as u64
+    });
+
+    vec![streaming, eager, synthetic]
+}
+
+/// One round of wall-clocking each experiment at `quick()` params;
+/// [`run_baseline`] keeps the best of [`BENCH_RUNS`] rounds.
 pub fn run_experiment_benches() -> Vec<ExperimentBench> {
     fn one(name: &str, f: impl FnOnce()) -> ExperimentBench {
         let (wall_secs, ()) = time(f);
@@ -248,13 +443,21 @@ pub fn run_experiment_benches() -> Vec<ExperimentBench> {
 pub fn run_sweep_bench(seeds: usize) -> SweepBench {
     let scenario = CrdtSync::chaotic();
     let seed_list: Vec<u64> = (1..=seeds as u64).collect();
-    let (serial_secs, serial_report) = time(|| sweep(&scenario, &seed_list));
+    let mut serial_secs = f64::INFINITY;
+    let mut parallel_secs = f64::INFINITY;
     let pool = ParallelSweep::auto();
-    let (parallel_secs, parallel_report) = time(|| pool.sweep(&scenario, &seed_list));
-    assert_eq!(
-        serial_report, parallel_report,
-        "parallel sweep must be byte-identical to serial"
-    );
+    // Best-of-BENCH_RUNS on each arm, like the kernel benches — the
+    // replay-identity assertion runs every round.
+    for _ in 0..BENCH_RUNS {
+        let (serial, serial_report) = time(|| sweep(&scenario, &seed_list));
+        let (parallel, parallel_report) = time(|| pool.sweep(&scenario, &seed_list));
+        assert_eq!(
+            serial_report, parallel_report,
+            "parallel sweep must be byte-identical to serial"
+        );
+        serial_secs = serial_secs.min(serial);
+        parallel_secs = parallel_secs.min(parallel);
+    }
     SweepBench {
         seeds,
         cores: ParallelSweep::available_cores(),
@@ -265,11 +468,27 @@ pub fn run_sweep_bench(seeds: usize) -> SweepBench {
 }
 
 /// Run the full baseline: kernel, experiments, and a `seeds`-seed sweep.
+/// Kernel and experiment suites run [`BENCH_RUNS`] interleaved rounds,
+/// keeping each entry's fastest wall-clock (see [`BENCH_RUNS`]).
 pub fn run_baseline(seeds: usize) -> Baseline {
+    let mut kernel = Vec::new();
+    let mut experiments: Vec<ExperimentBench> = Vec::new();
+    for _ in 0..BENCH_RUNS {
+        merge_min_wall(&mut kernel, run_kernel_benches());
+        let round = run_experiment_benches();
+        if experiments.is_empty() {
+            experiments = round;
+        } else {
+            for (best, sample) in experiments.iter_mut().zip(round) {
+                assert_eq!(best.name, sample.name, "experiment rounds must line up");
+                best.wall_secs = best.wall_secs.min(sample.wall_secs);
+            }
+        }
+    }
     Baseline {
         cores: ParallelSweep::available_cores(),
-        kernel: run_kernel_benches(),
-        experiments: run_experiment_benches(),
+        kernel,
+        experiments,
         sweep: run_sweep_bench(seeds),
     }
 }
@@ -442,6 +661,26 @@ mod tests {
             events: 10,
         };
         assert_eq!(k.events_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn query_scan_benches_smoke() {
+        // The real entries scan 100 MB / 30 GB; the smoke run shrinks to
+        // ~200 KB inline and 2x1 MB synthetic but exercises the exact
+        // same pipeline, reference scan, and line-count cross-check.
+        let benches = query_scan_kernel_benches(100 * 1024, 2, 1024 * 1024, 2);
+        assert_eq!(benches.len(), 3);
+        let by_name: std::collections::BTreeMap<&str, &KernelBench> =
+            benches.iter().map(|b| (b.name.as_str(), b)).collect();
+        let streaming = by_name["kernel/query_scan_inline_100mb"];
+        let eager = by_name["kernel/query_scan_inline_100mb_eager"];
+        let synth = by_name["kernel/query_scan_synthetic_30gb"];
+        // Identical corpus -> identical line counts (also asserted
+        // inside the harness).
+        assert_eq!(streaming.events, eager.events);
+        assert!(streaming.events > 1_000);
+        // 2 objects x 1 MB of the 23-byte log line.
+        assert_eq!(synth.events, 2 * (1024 * 1024 / 23));
     }
 
     #[test]

@@ -23,10 +23,14 @@
 //!
 //! Log bodies are [`Payload::synthetic`]: the simulator transfers, bills,
 //! and scans them by *length*, while the aggregation kernels count lines
-//! analytically (per-pattern cost, multiplied by repeats). That makes the
-//! default sweep's 30 GB point — where the real 15-minute guillotine
-//! forces execution chaining — take milliseconds of wall-clock instead
-//! of allocating and scanning 30 GB of RAM.
+//! analytically (per-pattern cost, multiplied by repeats). The
+//! code-to-data arm runs the query service's streaming scan pipeline —
+//! partition-parallel workers issuing chunked ranged reads and folding
+//! each chunk as it arrives, transfer overlapped with scan — so the
+//! default sweep's 30 GB point (where the real 15-minute guillotine
+//! forces execution chaining) exercises the paper-scale streaming path
+//! end to end yet takes milliseconds of wall-clock, never materializing
+//! 30 GB of RAM.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -307,11 +311,7 @@ fn run_code_to_data(
                 let out = query
                     .run(
                         ctx.host(),
-                        QuerySpec {
-                            bucket: "logs".into(),
-                            prefix: "part-".into(),
-                            aggregate: Aggregate::CountAll,
-                        },
+                        QuerySpec::new("logs", "part-", Aggregate::CountAll),
                     )
                     .await
                     .expect("query");

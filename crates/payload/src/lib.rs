@@ -352,6 +352,46 @@ impl Payload {
     }
 }
 
+/// Streaming line kernel over a *sequence* of payload chunks.
+///
+/// [`Payload::for_each_line_run`] scans one self-contained payload; a
+/// streaming consumer (e.g. a query-scan worker fetching an object in
+/// ranged reads) instead sees the same bytes as a series of arbitrary
+/// chunks, and a line may straddle any chunk boundary. The scanner
+/// carries the unterminated tail of each chunk into the next `feed`, so
+/// feeding the chunks of a split payload in order visits exactly the
+/// line runs `Payload::concat(chunks).for_each_line_run` would — the
+/// differential proptests below pin that equivalence. Each chunk keeps
+/// its own analytic fast path: a synthetic chunk still costs
+/// O(|pattern|), not O(bytes).
+#[derive(Default)]
+pub struct LineRunScanner {
+    carry: Vec<u8>,
+}
+
+impl LineRunScanner {
+    /// A scanner with an empty carry.
+    pub fn new() -> LineRunScanner {
+        LineRunScanner::default()
+    }
+
+    /// Scan the next chunk, visiting every *completed* non-empty line
+    /// with its multiplicity. The trailing unterminated fragment is
+    /// retained for the next `feed` (or `finish`).
+    pub fn feed(&mut self, chunk: &Payload, f: &mut dyn FnMut(&[u8], u64)) {
+        chunk.walk_lines(&mut self.carry, f);
+    }
+
+    /// End of the stream: flush the final unterminated line, if any
+    /// (matching how a scan of the whole materialized body treats a
+    /// missing trailing newline).
+    pub fn finish(self, f: &mut dyn FnMut(&[u8], u64)) {
+        if !self.carry.is_empty() {
+            f(&self.carry, 1);
+        }
+    }
+}
+
 fn scan_lines(b: &[u8], carry: &mut Vec<u8>, f: &mut dyn FnMut(&[u8], u64)) {
     let mut rest = b;
     while let Some(pos) = rest.iter().position(|&c| c == b'\n') {
@@ -785,6 +825,35 @@ mod proptests {
                 },
                 naive_lines(&expected_slice)
             );
+        }
+
+        /// Streaming parity: slicing a payload into arbitrary-size
+        /// chunks and feeding them through a [`LineRunScanner`] visits
+        /// the same line multiset as scanning the whole payload at once,
+        /// whatever the chunk size — lines straddling chunk boundaries
+        /// are stitched by the carry.
+        #[test]
+        fn chunked_scanner_matches_whole_payload_scan(
+            parts in prop::collection::vec(part_strategy(), 0..6),
+            chunk in 1usize..17,
+        ) {
+            let payload = Payload::concat(parts.iter().map(Part::build));
+            let expected: Vec<u8> =
+                parts.iter().flat_map(|p| p.materialize()).collect();
+
+            let mut scanner = LineRunScanner::new();
+            let mut got = std::collections::BTreeMap::new();
+            let mut visit = |line: &[u8], n: u64| {
+                *got.entry(line.to_vec()).or_insert(0u64) += n;
+            };
+            let mut off = 0;
+            while off < payload.len() {
+                let end = (off + chunk).min(payload.len());
+                scanner.feed(&payload.slice(off..end), &mut visit);
+                off = end;
+            }
+            scanner.finish(&mut visit);
+            prop_assert_eq!(got, naive_lines(&expected));
         }
     }
 }

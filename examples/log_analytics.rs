@@ -65,11 +65,11 @@ fn main() {
                 let out = query
                     .run(
                         ctx.host(),
-                        QuerySpec {
-                            bucket: "access-logs".into(),
-                            prefix: format!("{day}/"),
-                            aggregate: Aggregate::GroupCount { field: 2 },
-                        },
+                        QuerySpec::new(
+                            "access-logs",
+                            format!("{day}/"),
+                            Aggregate::GroupCount { field: 2 },
+                        ),
                     )
                     .await
                     .expect("query");
