@@ -4,7 +4,7 @@
 CARGO ?= cargo
 export CARGO_NET_OFFLINE = true
 
-.PHONY: build test test-all chaos-sweep chaos-experiments bench bench-compare clean
+.PHONY: build test test-all chaos-sweep chaos-experiments trace-replay bench bench-compare clean
 
 ## Release build of the whole workspace.
 build:
@@ -36,6 +36,16 @@ chaos-sweep: test
 ## completion-or-declared-failure) and replay byte-identically.
 chaos-experiments: test
 	CHAOS_SEEDS=$(CHAOS_SEEDS) $(CARGO) run --release --example chaos_experiments
+
+## Paper-scale trace replay: stream a ~1.1M-invocation, 12k-function
+## Azure-style workload trace (Zipf popularity, Poisson/bursty/diurnal
+## arrivals) through the platform and print the replay report —
+## cold-start rate, latency p50/p95/p99/p99.9, fairness spread, packing
+## density, $/hr. Runs the seed twice and fails unless digest, bill, and
+## report are byte-identical. `TRACE_SEED=<s>` picks the seed.
+TRACE_SEED ?= 2019
+trace-replay:
+	$(CARGO) run --release --example trace_replay -- --seed $(TRACE_SEED)
 
 ## Wall-clock performance baseline: DES-kernel events/sec, per-experiment
 ## wall-clock, and 64-seed sweep throughput (serial vs parallel). Writes

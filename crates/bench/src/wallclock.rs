@@ -29,6 +29,7 @@ use faasim::pricing::{Ledger, PriceBook};
 use faasim::query::{Aggregate, QueryProfile, QueryService, QuerySpec};
 use faasim::simcore::{gbps, mbps, FairShareLink, Recorder, Sim, SimDuration};
 use faasim_chaos::{sweep, CrdtSync, ParallelSweep};
+use faasim_trace::{replay, ReplayConfig};
 
 use crate::BENCH_SEED;
 
@@ -164,7 +165,25 @@ pub fn run_kernel_benches() -> Vec<KernelBench> {
         1024 * 1024 * 1024, // 30 synthetic objects of 1 GB -> the 30 GB paper scale
         30,
     ));
+    out.push(trace_replay_bench());
     out
+}
+
+/// A 100k-invocation trace replay end to end: generator, platform,
+/// retrying invoker, reaper, sketch, and report. `events` is the
+/// invocation count — deterministic across rounds, so the gate scores
+/// replayed invocations per host second.
+fn trace_replay_bench() -> KernelBench {
+    let mut cfg = ReplayConfig::small();
+    cfg.trace.apps = 256;
+    cfg.trace.total_rate = 500.0;
+    cfg.trace.duration = SimDuration::from_mins(4);
+    cfg.trace.max_events = 100_000;
+    kernel_bench("trace/replay_100k_invocations", || {
+        let out = replay(&cfg, BENCH_SEED, &|_| {});
+        assert_eq!(out.report.failed, 0, "calm replay must not fail");
+        out.report.invocations
+    })
 }
 
 fn base_kernel_benches() -> Vec<KernelBench> {

@@ -41,6 +41,7 @@ mod invariants;
 mod parallel;
 mod scenarios;
 mod sweep;
+mod trace;
 
 pub use experiments::{experiment_scenarios, ExperimentScenario};
 pub use faults::{FaultPlan, PartitionWindow};
@@ -58,3 +59,4 @@ pub use faasim_resilience::{
 };
 pub use scenarios::{CrdtSync, QueuePipeline};
 pub use sweep::{sweep, RunReport, Scenario, SeedReport, SweepReport};
+pub use trace::TraceReplay;

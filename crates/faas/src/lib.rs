@@ -31,6 +31,7 @@ pub use codec::{decode_batch, encode_batch};
 pub use config::FaasProfile;
 pub use platform::{
     FaasFaults, FaasPlatform, FnCtx, FnError, FunctionSpec, HandlerResult, InvokeOutcome,
+    PackingStats,
 };
 pub use trigger::{add_blob_trigger, add_queue_trigger, BlobTriggerBuilder, TriggerHandle};
 pub use workflow::{Orchestrator, Step, Workflow, WorkflowError, WorkflowOutcome};

@@ -2,7 +2,8 @@
 //! placement/packing, invocation, and billing.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::future::Future;
 use std::rc::Rc;
@@ -203,9 +204,44 @@ struct Container {
     cache: Rc<RefCell<HashMap<String, Bytes>>>,
     busy: bool,
     idle_since: SimTime,
+    /// When the container was placed — the start of its residency window
+    /// for [`PackingStats`] accounting.
+    created: SimTime,
     /// Kept warm by provisioned concurrency: exempt from idle reaping and
     /// billed per GB-second while reserved.
     provisioned: bool,
+}
+
+/// Ordering key for the per-function idle-container index: the maximum
+/// element is exactly the container the MRU policy prefers — provisioned
+/// first, then latest `idle_since`, then lowest id (ties resolve to the
+/// earliest-placed container, matching the original linear scan).
+type WarmKey = (bool, SimTime, Reverse<u64>);
+
+/// Container-packing integrals, the raw material for a packing-density
+/// metric: `resident_gb_seconds` is how much memory-time the platform has
+/// kept containers alive for (warm *and* busy), `busy_gb_seconds` is the
+/// share actually spent executing handlers. Their ratio is the density —
+/// low density means the keep-alive pool is mostly paying for idle memory.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PackingStats {
+    /// GB·seconds of handler execution time.
+    pub busy_gb_seconds: f64,
+    /// GB·seconds of container residency (from placement to destruction,
+    /// live containers counted up to now).
+    pub resident_gb_seconds: f64,
+}
+
+impl PackingStats {
+    /// Fraction of container residency spent executing handlers
+    /// (`0.0` when nothing has been resident).
+    pub fn density(&self) -> f64 {
+        if self.resident_gb_seconds <= 0.0 {
+            0.0
+        } else {
+            self.busy_gb_seconds / self.resident_gb_seconds
+        }
+    }
 }
 
 struct FnHost {
@@ -229,6 +265,16 @@ struct PlatformState {
     functions: HashMap<String, FunctionSpec>,
     containers: Vec<Container>,
     hosts: Vec<FnHost>,
+    /// Per-function index of idle containers, keyed so the set maximum is
+    /// the container `take_warm` must hand out. Entries are *hints*: they
+    /// are validated (and lazily corrected or discarded) when popped, so
+    /// eviction, reaping, crashes, and provisioned-concurrency changes
+    /// never have to maintain the index.
+    warm_idle: HashMap<String, BTreeSet<WarmKey>>,
+    /// GB·seconds of residency credited for already-destroyed containers.
+    retired_gb_s: f64,
+    /// GB·seconds spent executing handlers.
+    busy_gb_s: f64,
     next_container: u64,
     rng: SimRng,
     /// Active provisioned-concurrency reservations:
@@ -277,6 +323,9 @@ impl FaasPlatform {
                 functions: HashMap::new(),
                 containers: Vec::new(),
                 hosts: Vec::new(),
+                warm_idle: HashMap::new(),
+                retired_gb_s: 0.0,
+                busy_gb_s: 0.0,
                 next_container: 0,
                 rng: sim.rng("faas.platform"),
                 provisioned: HashMap::new(),
@@ -353,15 +402,19 @@ impl FaasPlatform {
     /// are untouched; in-flight kills are [`FaasFaults::kill_prob`]'s
     /// job. Returns the number of containers evicted.
     pub fn evict_warm(&self) -> usize {
+        let now = self.sim.now();
         let mut st = self.state.borrow_mut();
         let mut removed: Vec<(usize, u64)> = Vec::new();
+        let mut retired = 0.0;
         st.containers.retain(|c| {
             if c.busy {
                 return true;
             }
             removed.push((c.host_idx, c.mem_mb));
+            retired += residency_gb_s(c, now);
             false
         });
+        st.retired_gb_s += retired;
         for &(host_idx, mem_mb) in &removed {
             if let Some(h) = st.hosts.get_mut(host_idx) {
                 h.containers = h.containers.saturating_sub(1);
@@ -380,14 +433,17 @@ impl FaasPlatform {
         let timeout = self.profile.container_idle_timeout;
         let mut st = self.state.borrow_mut();
         let mut removed: Vec<(usize, u64)> = Vec::new();
+        let mut retired = 0.0;
         st.containers.retain(|c| {
             let keep =
                 c.provisioned || c.busy || now.duration_since(c.idle_since) < timeout;
             if !keep {
                 removed.push((c.host_idx, c.mem_mb));
+                retired += residency_gb_s(c, now);
             }
             keep
         });
+        st.retired_gb_s += retired;
         for (host_idx, mem_mb) in removed {
             if let Some(h) = st.hosts.get_mut(host_idx) {
                 h.containers = h.containers.saturating_sub(1);
@@ -396,34 +452,58 @@ impl FaasPlatform {
         }
     }
 
-    /// Take an idle warm container for `func`, if any (most recently used
-    /// first, matching observed Lambda behaviour).
+    /// Take an idle warm container for `func`, if any (provisioned first,
+    /// then most recently used, matching observed Lambda behaviour).
+    ///
+    /// Selection is O(log n) via the per-function [`WarmKey`] index rather
+    /// than a scan over every container — the difference between a toy run
+    /// and streaming a million-invocation trace over 10k+ functions.
+    /// Popped entries are validated against the container table: dangling
+    /// entries (evicted/reaped/crashed containers) are discarded, stale
+    /// keys (provisioned-concurrency changes) are corrected and re-queued,
+    /// and expired keep-alives are dropped for `reap_idle` to collect.
     fn take_warm(&self, func: &str) -> Option<usize> {
         let now = self.sim.now();
         let timeout = self.profile.container_idle_timeout;
         let mut st = self.state.borrow_mut();
-        let mut best: Option<(usize, SimTime)> = None;
-        let mut best_provisioned = false;
-        for (i, c) in st.containers.iter().enumerate() {
-            if c.func != func || c.busy {
+        let st = &mut *st;
+        let set = st.warm_idle.get_mut(func)?;
+        loop {
+            let key @ (provisioned, idle_since, Reverse(id)) = *set.last()?;
+            set.remove(&key);
+            // The container table stays sorted by id: ids are allocated
+            // monotonically and removals preserve order.
+            let Ok(pos) = st.containers.binary_search_by_key(&id, |c| c.id) else {
+                continue; // container destroyed since the entry was made
+            };
+            let c = &mut st.containers[pos];
+            if c.busy {
+                continue;
+            }
+            if c.provisioned != provisioned || c.idle_since != idle_since {
+                // Stale hint (e.g. demoted or re-promoted reservation):
+                // re-queue under its true key and look again.
+                set.insert((c.provisioned, c.idle_since, Reverse(id)));
                 continue;
             }
             if !c.provisioned && now.duration_since(c.idle_since) >= timeout {
-                continue;
+                continue; // past keep-alive: never hand out, reap later
             }
-            let better = match (best_provisioned, c.provisioned) {
-                (true, false) => false,
-                (false, true) => true,
-                _ => best.map(|(_, t)| c.idle_since > t).unwrap_or(true),
-            };
-            if better {
-                best = Some((i, c.idle_since));
-                best_provisioned = c.provisioned;
-            }
+            c.busy = true;
+            return Some(pos);
         }
-        let (idx, _) = best?;
-        st.containers[idx].busy = true;
-        Some(idx)
+    }
+
+    /// Snapshot the busy-vs-resident GB·second integrals (see
+    /// [`PackingStats`]); live containers are counted up to now.
+    pub fn packing_stats(&self) -> PackingStats {
+        let now = self.sim.now();
+        let st = self.state.borrow();
+        let live: f64 = st.containers.iter().map(|c| residency_gb_s(c, now)).sum();
+        PackingStats {
+            busy_gb_seconds: st.busy_gb_s,
+            resident_gb_seconds: st.retired_gb_s + live,
+        }
     }
 
     /// Place a new container for `func`, packing onto existing hosts
@@ -455,6 +535,7 @@ impl FaasPlatform {
         let id = st.next_container;
         st.next_container += 1;
         let host = st.hosts[host_idx].host.clone();
+        let now = self.sim.now();
         st.containers.push(Container {
             id,
             func: func.to_owned(),
@@ -463,9 +544,18 @@ impl FaasPlatform {
             mem_mb: memory_mb,
             cache: Rc::new(RefCell::new(HashMap::new())),
             busy: !provisioned,
-            idle_since: self.sim.now(),
+            idle_since: now,
+            created: now,
             provisioned,
         });
+        if provisioned {
+            // Provisioned containers are born idle: index them so
+            // `take_warm` can find them.
+            st.warm_idle
+                .entry(func.to_owned())
+                .or_default()
+                .insert((true, now, Reverse(id)));
+        }
         st.containers.len() - 1
     }
 
@@ -741,17 +831,23 @@ impl FaasPlatform {
         {
             let now = self.sim.now();
             let mut st = self.state.borrow_mut();
+            let st = &mut *st;
+            st.busy_gb_s += spec.memory_mb as f64 / 1024.0 * exec.as_secs_f64();
             if crashed {
-                if let Some(pos) = st.containers.iter().position(|c| c.id == container_id) {
+                if let Ok(pos) = st.containers.binary_search_by_key(&container_id, |c| c.id) {
                     let c = st.containers.remove(pos);
+                    st.retired_gb_s += residency_gb_s(&c, now);
                     if let Some(h) = st.hosts.get_mut(c.host_idx) {
                         h.containers = h.containers.saturating_sub(1);
                         h.mem_used_mb = h.mem_used_mb.saturating_sub(c.mem_mb);
                     }
                 }
-            } else if let Some(c) = st.containers.iter_mut().find(|c| c.id == container_id) {
+            } else if let Ok(pos) = st.containers.binary_search_by_key(&container_id, |c| c.id) {
+                let c = &mut st.containers[pos];
                 c.busy = false;
                 c.idle_since = now;
+                let key = (c.provisioned, now, Reverse(c.id));
+                st.warm_idle.entry(func.to_owned()).or_default().insert(key);
             }
         }
 
@@ -792,6 +888,11 @@ enum Which {
     Invoke,
     Cold,
     Trigger,
+}
+
+/// GB·seconds a container has been resident, from placement to `now`.
+fn residency_gb_s(c: &Container, now: SimTime) -> f64 {
+    c.mem_mb as f64 / 1024.0 * now.duration_since(c.created).as_secs_f64()
 }
 
 #[cfg(test)]
@@ -1072,6 +1173,68 @@ mod tests {
             p.reap_idle();
             assert_eq!(p.container_count(), 0);
         });
+    }
+
+    #[test]
+    fn reap_and_evict_mid_flight_never_strand_busy_containers() {
+        // A 12-minute invocation outlives the 10-minute keep-alive while a
+        // janitor storm reaps and evicts every 30 s. The busy container
+        // must survive every pass, release back to warm, and serve the
+        // next request without a second cold start; once it later expires
+        // or is evicted, its stale warm-index entry must be skipped, not
+        // served.
+        let (sim, platform, _, recorder) = setup();
+        platform.register(FunctionSpec::new(
+            "slow",
+            128,
+            SimDuration::from_secs(900),
+            |ctx, _| async move {
+                ctx.sim().sleep(SimDuration::from_mins(12)).await;
+                Ok(Bytes::new())
+            },
+        ));
+        let (p2, s2) = (platform.clone(), sim.clone());
+        sim.spawn(async move {
+            for _ in 0..26 {
+                s2.sleep(SimDuration::from_secs(30)).await;
+                p2.reap_idle();
+                p2.evict_warm();
+                assert!(p2.container_count() <= 1, "container invented mid-storm");
+            }
+        });
+        let p = platform.clone();
+        let (first, second) = sim.block_on(async move {
+            let a = p.invoke("slow", Bytes::new()).await;
+            // Released this instant: must be reused warm despite the storm.
+            let b = p.invoke("slow", Bytes::new()).await;
+            (a, b)
+        });
+        assert!(first.result.is_ok(), "storm killed a busy container");
+        assert!(second.result.is_ok());
+        assert!(first.cold);
+        assert!(!second.cold, "warm release was stranded by the janitor");
+        assert_eq!(recorder.counter("faas.invoke.cold"), 1);
+
+        // Expire the container for real; the dangling warm-index entry
+        // must be dropped and the next invoke must cold-start cleanly.
+        let (p, s) = (platform.clone(), sim.clone());
+        let third = sim.block_on(async move {
+            s.sleep(SimDuration::from_mins(11)).await;
+            p.reap_idle();
+            assert_eq!(p.container_count(), 0);
+            p.invoke("slow", Bytes::new()).await
+        });
+        assert!(third.cold);
+        assert_eq!(recorder.counter("faas.invoke.cold"), 2);
+
+        // Same for a chaos eviction: stale entry, clean cold start.
+        let p = platform.clone();
+        let fourth = sim.block_on(async move {
+            assert_eq!(p.evict_warm(), 1);
+            p.invoke("slow", Bytes::new()).await
+        });
+        assert!(fourth.cold);
+        assert_eq!(recorder.counter("faas.invoke.cold"), 3);
     }
 
     #[test]

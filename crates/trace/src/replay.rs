@@ -1,0 +1,487 @@
+//! Stream a generated trace through the simulated FaaS platform and
+//! report what the paper says matters: cold-start rate, client-observed
+//! latency percentiles, per-app fairness, container packing density, and
+//! dollars per hour.
+//!
+//! The driver task walks the lazy [`TraceGenerator`], sleeps to each
+//! arrival instant, and fires an invocation task per event — optionally
+//! through the resilience layer's [`RetryingInvoker`] so chaos plans can
+//! be absorbed the way a production client would. In-flight invocations
+//! are capped by a semaphore, so memory stays bounded by the cap (plus
+//! `O(apps + functions)` bookkeeping), never by trace length. A keep-alive
+//! reaper runs alongside, reclaiming idle containers mid-replay exactly
+//! like the platform's real idle janitor.
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::rc::Rc;
+
+use faasim::{Cloud, CloudProfile};
+use faasim_payload::Payload;
+use faasim_resilience::{Deadline, RetryPolicy, RetryingInvoker};
+use faasim_simcore::{Semaphore, SimDuration, SimTime};
+
+use crate::sketch::QuantileSketch;
+use crate::workload::{function_name, function_profile, TraceConfig, TraceGenerator};
+
+/// Replay knobs on top of the trace itself.
+#[derive(Clone, Debug)]
+pub struct ReplayConfig {
+    /// The workload to generate and stream.
+    pub trace: TraceConfig,
+    /// Cloud calibration to run against.
+    pub profile: CloudProfile,
+    /// Client-side retry policy; `None` invokes the platform directly
+    /// (one attempt per trace event).
+    pub retry: Option<RetryPolicy>,
+    /// How often the keep-alive reaper reclaims idle containers.
+    pub reap_every: SimDuration,
+    /// Cap on concurrently in-flight client requests (bounds memory).
+    pub max_in_flight: usize,
+    /// Quantile-sketch relative error bound.
+    pub sketch_alpha: f64,
+    /// Also materialize every latency sample (test-only; defeats the
+    /// bounded-memory property for large traces).
+    pub collect_latencies: bool,
+}
+
+impl ReplayConfig {
+    /// Small smoke-scale replay (~10k invocations).
+    pub fn small() -> ReplayConfig {
+        ReplayConfig {
+            trace: TraceConfig::small(),
+            profile: CloudProfile::aws_2018(),
+            retry: Some(RetryPolicy::default()),
+            reap_every: SimDuration::from_secs(30),
+            max_in_flight: 4096,
+            sketch_alpha: 0.01,
+            collect_latencies: false,
+        }
+    }
+
+    /// Acceptance-scale replay (~1.08M invocations, 12k functions).
+    pub fn paper_scale() -> ReplayConfig {
+        ReplayConfig {
+            trace: TraceConfig::paper_scale(),
+            ..ReplayConfig::small()
+        }
+    }
+}
+
+/// What a replay measured. All fields are plain numbers, so reports can
+/// be compared bit-for-bit across runs — the determinism harness does.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplayReport {
+    /// Seed the trace and cloud were built from.
+    pub seed: u64,
+    /// Trace events generated (arrivals).
+    pub generated: u64,
+    /// Client requests that ran to a final outcome.
+    pub invocations: u64,
+    /// Requests whose final outcome was success.
+    pub succeeded: u64,
+    /// Requests that failed after exhausting retries (or on first error
+    /// when retries are disabled).
+    pub failed: u64,
+    /// Platform-level executions, including retry attempts.
+    pub attempts: u64,
+    /// Executions that had to cold-start a container.
+    pub cold_starts: u64,
+    /// `cold_starts / attempts`.
+    pub cold_start_rate: f64,
+    /// Client-observed latency percentiles in seconds (sketch estimates
+    /// within the configured relative error).
+    pub latency_p50: f64,
+    /// 95th percentile latency (seconds).
+    pub latency_p95: f64,
+    /// 99th percentile latency (seconds).
+    pub latency_p99: f64,
+    /// 99.9th percentile latency (seconds).
+    pub latency_p999: f64,
+    /// Mean latency in seconds (exact).
+    pub latency_mean: f64,
+    /// p95 / p50 of per-app mean latencies — how unevenly apps are
+    /// served (1.0 = perfectly even).
+    pub fairness_spread: f64,
+    /// Apps that completed at least one request.
+    pub apps_seen: u32,
+    /// Distinct functions that completed at least one request.
+    pub distinct_functions: u64,
+    /// GB·seconds spent executing handlers.
+    pub busy_gb_seconds: f64,
+    /// GB·seconds of container residency (warm + busy).
+    pub resident_gb_seconds: f64,
+    /// `busy / resident` — the fraction of keep-alive memory-time doing
+    /// real work.
+    pub packing_density: f64,
+    /// Total bill across all services.
+    pub dollars: f64,
+    /// Bill normalized to simulated wall time.
+    pub dollars_per_hour: f64,
+    /// Simulated seconds from start to the last completed request.
+    pub sim_secs: f64,
+    /// Requests that waited on the account concurrency limit.
+    pub throttled_waits: u64,
+    /// Chaos: containers killed mid-invocation.
+    pub chaos_kills: u64,
+    /// Chaos: warm containers evicted by storms.
+    pub chaos_evicted: u64,
+}
+
+impl fmt::Display for ReplayReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "replay seed={} — {} invocations ({} generated) over {:.1} sim-secs",
+            self.seed, self.invocations, self.generated, self.sim_secs
+        )?;
+        writeln!(
+            f,
+            "  outcomes    {} ok / {} failed, {} attempts, {} throttled waits",
+            self.succeeded, self.failed, self.attempts, self.throttled_waits
+        )?;
+        writeln!(
+            f,
+            "  cold starts {} ({:.2}% of attempts)",
+            self.cold_starts,
+            self.cold_start_rate * 100.0
+        )?;
+        writeln!(
+            f,
+            "  latency     p50 {:.1} ms · p95 {:.1} ms · p99 {:.1} ms · p99.9 {:.1} ms · mean {:.1} ms",
+            self.latency_p50 * 1e3,
+            self.latency_p95 * 1e3,
+            self.latency_p99 * 1e3,
+            self.latency_p999 * 1e3,
+            self.latency_mean * 1e3,
+        )?;
+        writeln!(
+            f,
+            "  fairness    p95/p50 app-mean spread {:.2} across {} apps, {} functions",
+            self.fairness_spread, self.apps_seen, self.distinct_functions
+        )?;
+        writeln!(
+            f,
+            "  packing     {:.1} busy GB·s / {:.1} resident GB·s = {:.1}% density",
+            self.busy_gb_seconds,
+            self.resident_gb_seconds,
+            self.packing_density * 100.0
+        )?;
+        if self.chaos_kills > 0 || self.chaos_evicted > 0 {
+            writeln!(
+                f,
+                "  chaos       {} kills, {} evictions",
+                self.chaos_kills, self.chaos_evicted
+            )?;
+        }
+        write!(
+            f,
+            "  cost        ${:.4} total = ${:.4}/hr",
+            self.dollars, self.dollars_per_hour
+        )
+    }
+}
+
+/// A replay's full result: the report plus the raw determinism artifacts.
+#[derive(Clone, Debug)]
+pub struct ReplayOutcome {
+    /// The measured report.
+    pub report: ReplayReport,
+    /// `Recorder::digest()` of the underlying cloud — byte-identical
+    /// across same-seed replays.
+    pub digest: String,
+    /// Ledger report of the underlying cloud.
+    pub bill: String,
+    /// Every latency sample, in completion order (only when
+    /// [`ReplayConfig::collect_latencies`] is set).
+    pub latencies: Vec<f64>,
+}
+
+struct AppAgg {
+    completed: u64,
+    lat_sum: f64,
+}
+
+struct Stats {
+    sketch: QuantileSketch,
+    per_app: Vec<AppAgg>,
+    seen_funcs: Vec<bool>,
+    succeeded: u64,
+    failed: u64,
+    completed: u64,
+    last_done: SimTime,
+    latencies: Vec<f64>,
+}
+
+/// Run `cfg` at `seed`, applying `chaos` to the freshly built cloud
+/// before any traffic flows (pass `&|_| {}` for a fault-free replay —
+/// the hook keeps this crate independent of the chaos crate while its
+/// `FaultPlan`s slot straight in).
+pub fn replay(cfg: &ReplayConfig, seed: u64, chaos: &dyn Fn(&Cloud)) -> ReplayOutcome {
+    replay_with(cfg, seed, chaos, &mut |_| {})
+}
+
+/// Like [`replay`], but also hands the quiesced cloud to `finish` after
+/// the last request completes — the hook the chaos harness uses to run
+/// its cross-service invariant checks before the cloud is dropped.
+pub fn replay_with(
+    cfg: &ReplayConfig,
+    seed: u64,
+    chaos: &dyn Fn(&Cloud),
+    finish: &mut dyn FnMut(&Cloud),
+) -> ReplayOutcome {
+    let cloud = Cloud::new(cfg.profile.clone(), seed);
+    chaos(&cloud);
+    let sim = cloud.sim.clone();
+    let faas = cloud.faas.clone();
+
+    // Register every function; the handler burns a fresh sample of the
+    // function's execution-time distribution on each invocation.
+    let exec_rng = Rc::new(RefCell::new(sim.rng("trace.exec")));
+    for app in 0..cfg.trace.apps {
+        for func in 0..cfg.trace.funcs_per_app {
+            let prof = function_profile(&cfg.trace, seed, app, func);
+            let rng = exec_rng.clone();
+            let mean = prof.mean_exec.as_secs_f64();
+            let cv = prof.exec_cv;
+            faas.register(faasim_faas::FunctionSpec::new(
+                prof.name,
+                prof.memory_mb,
+                prof.timeout,
+                move |ctx, _payload| {
+                    let rng = rng.clone();
+                    async move {
+                        let work =
+                            SimDuration::from_secs_f64(rng.borrow_mut().lognormal_mean_cv(mean, cv));
+                        ctx.cpu(work).await;
+                        Ok(Payload::new())
+                    }
+                },
+            ));
+        }
+    }
+
+    let funcs_per_app = cfg.trace.funcs_per_app.max(1);
+    let stats = Rc::new(RefCell::new(Stats {
+        sketch: QuantileSketch::new(cfg.sketch_alpha),
+        per_app: (0..cfg.trace.apps)
+            .map(|_| AppAgg {
+                completed: 0,
+                lat_sum: 0.0,
+            })
+            .collect(),
+        seen_funcs: vec![false; (cfg.trace.apps * funcs_per_app) as usize],
+        succeeded: 0,
+        failed: 0,
+        completed: 0,
+        last_done: SimTime::ZERO,
+        latencies: Vec::new(),
+    }));
+    let invoker = cfg.retry.clone().map(|policy| {
+        RetryingInvoker::new(&sim, &faas, cloud.recorder.clone(), policy, "trace.invoker")
+    });
+    let inflight = Semaphore::new(cfg.max_in_flight.max(1));
+    // Set once the driver has spawned its last request; `done` flips when
+    // every spawned request has completed, which stops the reaper.
+    let total: Rc<Cell<Option<u64>>> = Rc::new(Cell::new(None));
+    let done = Rc::new(Cell::new(false));
+
+    // Keep-alive reaper: runs mid-replay like the platform's idle janitor.
+    {
+        let (sim2, faas2, done2) = (sim.clone(), faas.clone(), done.clone());
+        let every = cfg.reap_every;
+        sim.spawn(async move {
+            while !done2.get() {
+                sim2.sleep(every).await;
+                faas2.reap_idle();
+            }
+        });
+    }
+
+    // Driver: walk the lazy generator in arrival order.
+    let generated = Rc::new(Cell::new(0u64));
+    {
+        let gen = TraceGenerator::new(cfg.trace.clone(), seed);
+        let sim2 = sim.clone();
+        let faas2 = faas.clone();
+        let (stats2, total2, done2, generated2) = (
+            stats.clone(),
+            total.clone(),
+            done.clone(),
+            generated.clone(),
+        );
+        let inflight2 = inflight.clone();
+        let invoker2 = invoker.clone();
+        let collect = cfg.collect_latencies;
+        // One shared zero block keeps symbolic payloads allocation-free.
+        let zero_block = Payload::zeros(256).bytes();
+        sim.spawn(async move {
+            let mut spawned = 0u64;
+            for ev in gen {
+                sim2.sleep_until(ev.at).await;
+                let permit = inflight2.acquire(1).await;
+                spawned += 1;
+                let sim3 = sim2.clone();
+                let faas3 = faas2.clone();
+                let invoker3 = invoker2.clone();
+                let (stats3, total3, done3) = (stats2.clone(), total2.clone(), done2.clone());
+                let payload = Payload::synthetic(
+                    zero_block.clone(),
+                    ev.payload_bytes.div_ceil(zero_block.len() as u64).max(1),
+                );
+                sim2.spawn(async move {
+                    let t0 = sim3.now();
+                    let name = function_name(ev.app, ev.func);
+                    let ok = match &invoker3 {
+                        Some(inv) => inv
+                            .invoke(&name, &payload, Deadline::unbounded())
+                            .await
+                            .is_ok(),
+                        None => faas3.invoke(&name, payload).await.result.is_ok(),
+                    };
+                    let latency = sim3.now().duration_since(t0).as_secs_f64();
+                    {
+                        let mut st = stats3.borrow_mut();
+                        st.sketch.insert(latency);
+                        if collect {
+                            st.latencies.push(latency);
+                        }
+                        let agg = &mut st.per_app[ev.app as usize];
+                        agg.completed += 1;
+                        agg.lat_sum += latency;
+                        st.seen_funcs[(ev.app * funcs_per_app + ev.func) as usize] = true;
+                        if ok {
+                            st.succeeded += 1;
+                        } else {
+                            st.failed += 1;
+                        }
+                        st.completed += 1;
+                        st.last_done = sim3.now();
+                        if total3.get() == Some(st.completed) {
+                            done3.set(true);
+                        }
+                    }
+                    drop(permit);
+                });
+            }
+            generated2.set(spawned);
+            total2.set(Some(spawned));
+            if stats2.borrow().completed == spawned {
+                done2.set(true);
+            }
+        });
+    }
+
+    sim.run();
+    finish(&cloud);
+
+    let packing = faas.packing_stats();
+    let recorder = &cloud.recorder;
+    let st = stats.borrow();
+    let cold = recorder.counter("faas.invoke.cold");
+    let warm = recorder.counter("faas.invoke.warm");
+    let attempts = cold + warm;
+    let sim_secs = st.last_done.as_secs_f64();
+    let dollars = cloud.ledger.total();
+
+    // Fairness: distribution of per-app mean latencies.
+    let mut app_means: Vec<f64> = st
+        .per_app
+        .iter()
+        .filter(|a| a.completed > 0)
+        .map(|a| a.lat_sum / a.completed as f64)
+        .collect();
+    app_means.sort_by(f64::total_cmp);
+    let rank = |q: f64| -> f64 {
+        if app_means.is_empty() {
+            0.0
+        } else {
+            app_means[((app_means.len() - 1) as f64 * q).round() as usize]
+        }
+    };
+    let (p50_app, p95_app) = (rank(0.50), rank(0.95));
+
+    let report = ReplayReport {
+        seed,
+        generated: generated.get(),
+        invocations: st.completed,
+        succeeded: st.succeeded,
+        failed: st.failed,
+        attempts,
+        cold_starts: cold,
+        cold_start_rate: if attempts == 0 {
+            0.0
+        } else {
+            cold as f64 / attempts as f64
+        },
+        latency_p50: st.sketch.p50(),
+        latency_p95: st.sketch.p95(),
+        latency_p99: st.sketch.p99(),
+        latency_p999: st.sketch.p999(),
+        latency_mean: st.sketch.mean(),
+        fairness_spread: if p50_app > 0.0 { p95_app / p50_app } else { 0.0 },
+        apps_seen: app_means.len() as u32,
+        distinct_functions: st.seen_funcs.iter().filter(|&&s| s).count() as u64,
+        busy_gb_seconds: packing.busy_gb_seconds,
+        resident_gb_seconds: packing.resident_gb_seconds,
+        packing_density: packing.density(),
+        dollars,
+        dollars_per_hour: if sim_secs > 0.0 {
+            dollars / (sim_secs / 3600.0)
+        } else {
+            0.0
+        },
+        sim_secs,
+        throttled_waits: recorder.counter("faas.throttled_waits"),
+        chaos_kills: recorder.counter("faas.chaos_kills"),
+        chaos_evicted: recorder.counter("faas.chaos_evicted"),
+    };
+    ReplayOutcome {
+        report,
+        digest: recorder.digest(),
+        bill: cloud.ledger.report(),
+        latencies: st.latencies.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_replay_completes_every_event() {
+        let mut cfg = ReplayConfig::small();
+        cfg.trace.max_events = 500;
+        let out = replay(&cfg, 11, &|_| {});
+        assert_eq!(out.report.generated, 500);
+        assert_eq!(out.report.invocations, 500);
+        assert_eq!(out.report.succeeded + out.report.failed, 500);
+        assert_eq!(out.report.failed, 0, "calm replay must not fail");
+        assert!(out.report.cold_starts > 0);
+        assert!(out.report.latency_p50 > 0.0);
+        assert!(out.report.latency_p99 >= out.report.latency_p50);
+        assert!(out.report.packing_density > 0.0 && out.report.packing_density <= 1.0);
+        assert!(out.report.dollars > 0.0);
+        assert!(out.report.distinct_functions > 1);
+    }
+
+    #[test]
+    fn same_seed_same_outcome() {
+        let mut cfg = ReplayConfig::small();
+        cfg.trace.max_events = 300;
+        let a = replay(&cfg, 5, &|_| {});
+        let b = replay(&cfg, 5, &|_| {});
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.bill, b.bill);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = ReplayConfig::small();
+        cfg.trace.max_events = 300;
+        let a = replay(&cfg, 5, &|_| {});
+        let b = replay(&cfg, 6, &|_| {});
+        assert_ne!(a.digest, b.digest);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the trace generator, mirroring the queue's
+//! state-machine props: for arbitrary seeds and arrival mixes the event
+//! stream must be time-ordered and horizon-bounded, per-app Poisson
+//! rates must land within sampling tolerance of the configured Zipf
+//! split, popularity must actually be head-heavy, and the same seed must
+//! reproduce the stream byte for byte.
+
+use faasim_simcore::{SimDuration, SimTime};
+use faasim_trace::{TraceConfig, TraceEvent, TraceGenerator};
+use proptest::prelude::*;
+
+/// A two-minute, 24-app trace with a configurable arrival mix.
+fn mixed_cfg(rate: f64, bursty: f64, diurnal: f64) -> TraceConfig {
+    TraceConfig {
+        apps: 24,
+        total_rate: rate,
+        duration: SimDuration::from_secs(120),
+        bursty_fraction: bursty,
+        diurnal_fraction: diurnal,
+        ..TraceConfig::small()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn times_are_nondecreasing_and_events_well_formed(
+        seed in 0u64..10_000,
+        rate in 5.0f64..60.0,
+        bursty in 0.0f64..0.5,
+        diurnal in 0.0f64..0.5,
+    ) {
+        let cfg = mixed_cfg(rate, bursty, diurnal);
+        let horizon = SimTime::ZERO + cfg.duration;
+        let mut last = SimTime::ZERO;
+        for ev in TraceGenerator::new(cfg.clone(), seed) {
+            prop_assert!(ev.at >= last, "time went backwards");
+            prop_assert!(ev.at <= horizon, "event past the horizon");
+            prop_assert!(ev.app < cfg.apps);
+            prop_assert!(ev.func < cfg.funcs_per_app);
+            prop_assert!((64..=1024 * 1024).contains(&ev.payload_bytes));
+            last = ev.at;
+        }
+    }
+
+    #[test]
+    fn poisson_per_app_counts_match_the_zipf_split(seed in 0u64..10_000) {
+        // Pure-Poisson mix so each app's count is Poisson(rate·T): every
+        // app must land within 6σ (plus a small-count floor) of its mean.
+        let cfg = TraceConfig {
+            apps: 6,
+            zipf_s: 0.6,
+            total_rate: 60.0,
+            duration: SimDuration::from_secs(400),
+            bursty_fraction: 0.0,
+            diurnal_fraction: 0.0,
+            ..TraceConfig::small()
+        };
+        let rates = cfg.app_rates();
+        let mut counts = vec![0u64; cfg.apps as usize];
+        for ev in TraceGenerator::new(cfg.clone(), seed) {
+            counts[ev.app as usize] += 1;
+        }
+        let secs = cfg.duration.as_secs_f64();
+        for (app, (&n, &rate)) in counts.iter().zip(&rates).enumerate() {
+            let expected = rate * secs;
+            let slack = 6.0 * expected.sqrt() + 10.0;
+            prop_assert!(
+                (n as f64 - expected).abs() <= slack,
+                "app {}: {} events, expected {:.0} ± {:.0}", app, n, expected, slack
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_popularity_is_head_heavy(
+        seed in 0u64..10_000,
+        zipf_s in 0.5f64..1.5,
+    ) {
+        let cfg = TraceConfig {
+            apps: 8,
+            zipf_s,
+            total_rate: 40.0,
+            duration: SimDuration::from_secs(300),
+            bursty_fraction: 0.0,
+            diurnal_fraction: 0.0,
+            ..TraceConfig::small()
+        };
+        // The configured per-app rates are strictly rank-monotone ...
+        let rates = cfg.app_rates();
+        for pair in rates.windows(2) {
+            prop_assert!(pair[0] > pair[1], "rates not Zipf-monotone");
+        }
+        // ... and the realized stream reflects it: the hottest app
+        // out-draws the coldest by a clear margin.
+        let mut counts = vec![0u64; cfg.apps as usize];
+        for ev in TraceGenerator::new(cfg, seed) {
+            counts[ev.app as usize] += 1;
+        }
+        prop_assert!(
+            counts[0] > counts[7] + 3 * (counts[7] as f64).sqrt() as u64,
+            "head {} vs tail {} — not head-heavy", counts[0], counts[7]
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_stream_byte_for_byte(seed in 0u64..10_000) {
+        let cfg = TraceConfig {
+            max_events: 2_000,
+            ..mixed_cfg(30.0, 0.3, 0.3)
+        };
+        let a: Vec<TraceEvent> = TraceGenerator::new(cfg.clone(), seed).collect();
+        let b: Vec<TraceEvent> = TraceGenerator::new(cfg.clone(), seed).collect();
+        prop_assert_eq!(&a, &b);
+        let c: Vec<TraceEvent> = TraceGenerator::new(cfg, seed.wrapping_add(1)).collect();
+        prop_assert_ne!(a, c);
+    }
+}
