@@ -242,7 +242,42 @@ fn base_kernel_benches() -> Vec<KernelBench> {
             sim.run();
             sim.stats().events_processed
         }),
+        kernel_bench("kernel/link_fanin_100k_flows", || {
+            link_fanin_at_scale(100_000)
+        }),
+        kernel_bench("kernel/link_fanin_1m_flows", || {
+            link_fanin_at_scale(1_000_000)
+        }),
     ]
+}
+
+/// The virtual-time fair-queueing stress: `n` staggered flows pile onto
+/// one 10 Gbps link until every one of them is concurrently in flight,
+/// then drain. Transfers are sized so the last joiner arrives long
+/// before the first completion — peak concurrency equals `n` — and one
+/// flow in sixteen is rate-capped so the class buckets and the
+/// water-level crossings stay on the measured path. Returns the event
+/// count; the score is events/sec at the target scale the ROADMAP set
+/// (100k–1M concurrent flows).
+fn link_fanin_at_scale(n: u64) -> u64 {
+    let sim = Sim::new(BENCH_SEED);
+    let link = FairShareLink::new(&sim, gbps(10.0));
+    let done = Rc::new(std::cell::Cell::new(0u64));
+    for i in 0..n {
+        let l = link.clone();
+        let s = sim.clone();
+        let d = done.clone();
+        sim.spawn(async move {
+            s.sleep(SimDuration::from_nanos(i * 500)).await;
+            let cap = if i % 16 == 0 { Some(mbps(1.0)) } else { None };
+            l.transfer(1_000_000, cap).await;
+            d.set(d.get() + 1);
+        });
+    }
+    sim.run();
+    assert_eq!(done.get(), n, "all flows must drain");
+    assert_eq!(link.active_flows(), 0);
+    sim.stats().events_processed
 }
 
 /// A minimal blob + query world for the scan benches. Exact profiles so
@@ -700,6 +735,20 @@ mod tests {
         assert!(streaming.events > 1_000);
         // 2 objects x 1 MB of the 23-byte log line.
         assert_eq!(synth.events, 2 * (1024 * 1024 / 23));
+    }
+
+    #[test]
+    fn link_fanin_100k_smoke() {
+        // CI gate for the virtual-time fair-queueing scale target: 100k
+        // concurrent flows (every sixteenth rate-capped) must fully
+        // drain — the helper asserts completion and an empty link — and
+        // the event count must stay linear in the flow count, not
+        // quadratic as the pre-rewrite O(n)-rescan allocator was.
+        let events = link_fanin_at_scale(100_000);
+        assert!(
+            (200_000..2_000_000).contains(&events),
+            "100k-flow fan-in event count off the linear envelope: {events}"
+        );
     }
 
     #[test]

@@ -316,6 +316,24 @@ impl Vm {
         self.inner.ebs_write.transfer(bytes, None).await;
     }
 
+    /// Volume reads currently in flight on this VM. O(1): the link keeps
+    /// a live counter, so polling this on a hot path costs nothing.
+    pub fn ebs_reads_in_flight(&self) -> usize {
+        self.inner.ebs_read.active_flows()
+    }
+
+    /// Volume writes currently in flight on this VM. O(1).
+    pub fn ebs_writes_in_flight(&self) -> usize {
+        self.inner.ebs_write.active_flows()
+    }
+
+    /// Bandwidth a new volume read would get right now, bits/sec — the
+    /// calibrated EBS read bandwidth divided across concurrent readers.
+    /// O(1).
+    pub fn ebs_read_share_estimate(&self) -> Bps {
+        self.inner.ebs_read.fair_share_estimate()
+    }
+
     /// Uptime so far (or total uptime if terminated).
     pub fn uptime(&self) -> SimDuration {
         let end = self
@@ -444,6 +462,34 @@ mod tests {
         sim.block_on(async move { vm2.ebs_read(100_000_000).await });
         let s = sim.now().as_secs_f64();
         assert!((s - 0.04).abs() < 1e-3, "read took {s}");
+    }
+
+    #[test]
+    fn ebs_contention_probes_are_live() {
+        let (sim, ec2, _) = setup();
+        let vm = ec2.provision_ready("m4.large", 0).unwrap();
+        let read_bw = vm.instance_type().ebs_read_bandwidth;
+        assert_eq!(vm.ebs_reads_in_flight(), 0);
+        assert!((vm.ebs_read_share_estimate() - read_bw).abs() < 1.0);
+        for _ in 0..4 {
+            let v = vm.clone();
+            sim.spawn(async move { v.ebs_read(100_000_000).await });
+        }
+        let v = vm.clone();
+        sim.spawn(async move { v.ebs_write(10_000_000).await });
+        let probe = vm.clone();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(SimDuration::from_millis(1)).await;
+            assert_eq!(probe.ebs_reads_in_flight(), 4);
+            assert_eq!(probe.ebs_writes_in_flight(), 1);
+            // A fifth reader would get a 1/5 share.
+            let est = probe.ebs_read_share_estimate();
+            assert!((est - read_bw / 5.0).abs() < 1.0, "estimate {est}");
+        });
+        sim.run();
+        assert_eq!(vm.ebs_reads_in_flight(), 0);
+        assert_eq!(vm.ebs_writes_in_flight(), 0);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use std::future::Future;
 use std::rc::Rc;
 
 use bytes::Bytes;
-use faasim_net::{Fabric, Host, HostId};
+use faasim_net::{Fabric, Host, HostId, NicStats};
 use faasim_payload::Payload;
 use faasim_pricing::{Ledger, PriceBook, Service};
 use faasim_simcore::{
@@ -504,6 +504,23 @@ impl FaasPlatform {
             busy_gb_seconds: st.busy_gb_s,
             resident_gb_seconds: st.retired_gb_s + live,
         }
+    }
+
+    /// Aggregate NIC fan-in statistics across every function host (see
+    /// [`NicStats`]): `peak_flows` is the worst concurrent fan-in any one
+    /// NIC saw, `min_fair_share` the lowest per-flow bandwidth estimate at
+    /// any transfer start — the §3(2) bandwidth collapse, measured.
+    pub fn nic_stats(&self) -> NicStats {
+        let st = self.state.borrow();
+        let mut agg = NicStats::default();
+        for h in &st.hosts {
+            let s = h.host.nic_stats();
+            agg.transfers += s.transfers;
+            agg.concurrency_sum += s.concurrency_sum;
+            agg.peak_flows = agg.peak_flows.max(s.peak_flows);
+            agg.min_fair_share = agg.min_fair_share.min(s.min_fair_share);
+        }
+        agg
     }
 
     /// Place a new container for `func`, packing onto existing hosts

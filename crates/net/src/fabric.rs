@@ -118,11 +118,54 @@ impl Default for NetFaults {
     }
 }
 
+/// NIC contention statistics, sampled at every transfer start via the
+/// link's O(1) accessors (`active_flows` / `fair_share_estimate`). The
+/// sampling is plain-cell bookkeeping on the hot path — it never records
+/// into the shared [`Recorder`], so enabling it cannot perturb recorder
+/// digests or the event stream.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct NicStats {
+    /// Transfers started through this host's NIC.
+    pub transfers: u64,
+    /// Sum over transfer starts of the concurrent flow count including
+    /// the starting flow; `concurrency_sum / transfers` is the mean
+    /// fan-in a transfer observed.
+    pub concurrency_sum: u64,
+    /// Peak concurrent flows observed at any transfer start.
+    pub peak_flows: u64,
+    /// Lowest fair-share estimate seen at any transfer start, bits/sec —
+    /// the §3 bandwidth-collapse number for this host.
+    pub min_fair_share: Bps,
+}
+
+impl Default for NicStats {
+    fn default() -> Self {
+        NicStats {
+            transfers: 0,
+            concurrency_sum: 0,
+            peak_flows: 0,
+            min_fair_share: f64::INFINITY,
+        }
+    }
+}
+
+impl NicStats {
+    /// Mean concurrent flows observed at transfer starts (0 if none).
+    pub fn mean_fan_in(&self) -> f64 {
+        if self.transfers == 0 {
+            0.0
+        } else {
+            self.concurrency_sum as f64 / self.transfers as f64
+        }
+    }
+}
+
 pub(crate) struct HostState {
     rack: RackId,
     nic: FairShareLink,
     per_flow_cap: Option<Bps>,
     alive: std::cell::Cell<bool>,
+    stats: RefCell<NicStats>,
 }
 
 impl HostState {
@@ -200,6 +243,7 @@ impl Fabric {
             nic: FairShareLink::new(&self.inner.sim, nic.capacity),
             per_flow_cap: nic.per_flow_cap,
             alive: std::cell::Cell::new(true),
+            stats: RefCell::new(NicStats::default()),
         });
         self.inner.hosts.borrow_mut().insert(id, state.clone());
         Host {
@@ -345,9 +389,27 @@ impl Host {
         self.state.per_flow_cap
     }
 
+    /// Contention statistics sampled at transfer starts on this host.
+    pub fn nic_stats(&self) -> NicStats {
+        *self.state.stats.borrow()
+    }
+
+    /// Sample the NIC's contention state as a new transfer starts. Both
+    /// accessors are O(1) counters on the link, so this stays on the hot
+    /// path unconditionally.
+    fn note_transfer_start(&self) {
+        let mut st = self.state.stats.borrow_mut();
+        st.transfers += 1;
+        let n = self.state.nic.active_flows() as u64 + 1;
+        st.concurrency_sum += n;
+        st.peak_flows = st.peak_flows.max(n);
+        st.min_fair_share = st.min_fair_share.min(self.state.nic.fair_share_estimate());
+    }
+
     /// Move `bytes` through this host's NIC, respecting the per-flow cap
     /// and fair sharing with every other active flow on the host.
     pub async fn nic_transfer(&self, bytes: u64) {
+        self.note_transfer_start();
         self.state
             .nic
             .transfer(bytes, self.state.per_flow_cap)
@@ -362,6 +424,7 @@ impl Host {
             Some(host_cap) => host_cap.min(extra_cap),
             None => extra_cap,
         };
+        self.note_transfer_start();
         self.state.nic.transfer(bytes, Some(cap)).await;
     }
 }
@@ -453,5 +516,30 @@ mod tests {
         }
         sim.run();
         assert!((sim.now().as_secs_f64() - 1.0).abs() < 1e-3, "{}", sim.now());
+    }
+
+    #[test]
+    fn nic_stats_track_fan_in() {
+        let (sim, fabric) = test_fabric(6);
+        let host = fabric.add_host(0, NicConfig::simple(mbps(574.0)));
+        for _ in 0..20 {
+            let h = host.clone();
+            sim.spawn(async move {
+                h.nic_transfer(3_587_500).await;
+            });
+        }
+        sim.run();
+        let stats = host.nic_stats();
+        assert_eq!(stats.transfers, 20);
+        // All 20 start at t=0; the k-th start sees k concurrent flows.
+        assert_eq!(stats.peak_flows, 20);
+        assert_eq!(stats.concurrency_sum, (1..=20).sum::<u64>());
+        assert!((stats.mean_fan_in() - 10.5).abs() < 1e-9);
+        // The last starter's estimate is the §3 collapse: 574/20 Mbps.
+        assert!((stats.min_fair_share - mbps(574.0 / 20.0)).abs() < 1.0);
+        // Fresh host: no samples yet.
+        let idle = fabric.add_host(0, NicConfig::simple(mbps(1.0)));
+        assert_eq!(idle.nic_stats(), NicStats::default());
+        assert_eq!(idle.nic_stats().mean_fan_in(), 0.0);
     }
 }

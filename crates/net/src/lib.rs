@@ -15,5 +15,5 @@
 mod fabric;
 mod socket;
 
-pub use fabric::{Fabric, Host, HostId, NetFaults, NetProfile, NicConfig, RackId};
+pub use fabric::{Fabric, Host, HostId, NetFaults, NetProfile, NicConfig, NicStats, RackId};
 pub use socket::{Addr, Kind, Message, NetError, RecvFut, Socket, WIRE_OVERHEAD_BYTES};

@@ -1,4 +1,4 @@
-//! Shared bandwidth links with max–min fair sharing.
+//! Shared bandwidth links with max–min fair sharing in O(log n) per event.
 //!
 //! A [`FairShareLink`] models a capacity-limited pipe (a host NIC, a
 //! storage-service connection pool) shared by concurrent transfers. Rates
@@ -10,14 +10,41 @@
 //! Lambda functions packed onto one host VM, the per-function share of the
 //! NIC collapses from 538 Mbps to ~28.7 Mbps.
 //!
-//! Implementation: the link keeps the set of active flows; whenever a flow
-//! joins or completes it (a) charges elapsed virtual time against every
-//! flow's remaining bytes at the old rates, (b) recomputes the water-filled
-//! rates, and (c) schedules a callback at the earliest projected completion.
-//! A generation counter discards stale callbacks.
+//! # Virtual-time fair queueing
+//!
+//! The previous implementation rescanned every flow three times per
+//! join/completion/cancel (charge elapsed service, re-water-fill, find the
+//! earliest completion), making n-flow churn O(n²) — the simulator's last
+//! scaling wall at 5k+ concurrent flows. This one makes each event
+//! O(log n + classes):
+//!
+//! - **V(t)**, the fair-share work function, counts the bits an
+//!   unthrottled flow has been served since the link's current busy
+//!   period began. It is piecewise linear with slope equal to the water
+//!   level and advances in O(1) per event. A flow riding the water level
+//!   needs no per-event touch: joining with `B` bits remaining it
+//!   finishes exactly when `V` reaches `V_join + B`, so all such flows
+//!   sit in one min-heap of virtual finish times.
+//! - **Capped flows aggregate into rate classes** (one bucket per
+//!   distinct cap). While a class sits *below* the water level every
+//!   member runs at exactly its cap, so each member's completion is a
+//!   fixed absolute instant computed once (a second min-heap). The
+//!   water-fill step works on class aggregates — `Σ cap·members` — in
+//!   O(classes), and members are individually charged and re-based only
+//!   when the water level crosses their class's cap (lazy re-leveling).
+//!
+//! Completion instants still ceil to the next nanosecond, a flow is still
+//! done when less than half a bit remains, finished flows still wake in
+//! flow-id order, and the link still schedules exactly one epoch-guarded
+//! callback per state change — so the event stream, and therefore every
+//! recorder digest, is preserved. A retained O(n)-rescan reference
+//! allocator (`#[cfg(test)]`, sharing the same per-flow accounting
+//! formulas) differential-tests the heap and bucket machinery under
+//! randomized churn.
 
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, BTreeMap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -44,54 +71,143 @@ pub fn mbytes_per_sec(v: f64) -> Bps {
     v * 8e6
 }
 
+/// A flow with less than half a bit left is finished: completion
+/// boundaries are scheduled with ceil-to-nanosecond rounding, so the
+/// residue at the completion instant is sub-bit.
+const DONE_EPS_BITS: f64 = 0.5;
+
+/// Completion delay for `secs` of service at the current rates: ceil to
+/// the next nanosecond (so the completion event sees the flow done), at
+/// least one nanosecond out.
+#[inline]
+fn ceil_ns(secs: f64) -> SimDuration {
+    SimDuration::from_nanos((secs * 1e9).ceil().max(1.0) as u64)
+}
+
+/// Which service regime a flow is currently in.
+#[derive(Copy, Clone, Debug)]
+enum Phase {
+    /// Served at the water level: finishes when V reaches `v_finish`.
+    Virtual {
+        /// Virtual-time finish tag: `V_at_last_touch + remaining_bits`.
+        v_finish: f64,
+    },
+    /// Pinned at its cap (class below the water level): finishes at the
+    /// absolute instant `fin`, computed once on entry.
+    Capped {
+        /// When the flow entered this phase (service accrues at `cap`
+        /// from here, against `remaining_bits` as of this instant).
+        since: SimTime,
+        /// Absolute completion instant.
+        fin: SimTime,
+    },
+}
+
 #[derive(Debug)]
 struct Flow {
+    /// Remaining bits as of the flow's last touch (join or re-level).
+    /// While `Virtual`, the live value is `v_finish - V`; while
+    /// `Capped`, it is `remaining_bits - cap·(now - since)`.
     remaining_bits: f64,
     cap_bps: Option<Bps>,
-    rate_bps: Bps,
+    phase: Phase,
     waker: Option<Waker>,
     done: bool,
+}
+
+/// All flows sharing one cap value, water-filled as a unit.
+struct CapClass {
+    cap: Bps,
+    /// Live (not done, not canceled) member flows.
+    members: usize,
+    /// Whether the class currently sits below the water level (every
+    /// member pinned at `cap`).
+    saturated: bool,
+    /// Member flow ids. Finished/canceled flows leave stale entries,
+    /// skipped on re-level and compacted once they outnumber live
+    /// members (`members`, never the slab occupancy — done-but-unreaped
+    /// flows must not defer compaction).
+    ids: Vec<u64>,
+}
+
+/// Min-heap key for virtual finish tags. Values are finite and positive;
+/// ties are broken by flow id in the surrounding tuple.
+#[derive(Copy, Clone, PartialEq, Debug)]
+struct VKey(f64);
+
+impl Eq for VKey {}
+
+impl PartialOrd for VKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for VKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
 }
 
 struct LinkState {
     capacity_bps: Bps,
     /// Flows indexed by `id - base_id` (ids are sequential). Removed
     /// flows leave a `None` hole; leading holes are popped so the deque
-    /// tracks the live window. Iteration is id order — identical to the
-    /// BTreeMap this replaces — but a contiguous scan instead of a
-    /// pointer chase, which is what keeps thousand-flow fan-ins (the
-    /// query service fetching every object of a 50 GB dataset at once)
-    /// from going quadratic-with-a-big-constant.
+    /// tracks the live window.
     flows: VecDeque<Option<Flow>>,
     base_id: u64,
-    live: usize,
-    /// Flow ids sorted by `(cap, id)` — the water-filling order. Kept
-    /// incrementally: joins binary-search-insert, departures are dropped
-    /// lazily (and compacted when stale entries dominate), so a
-    /// reallocation is a single allocation-free pass instead of a
-    /// collect + sort of every active flow.
-    order: Vec<(f64, u64)>,
+    /// Occupied slots, including done-but-unreaped flows.
+    occupied: usize,
+    /// Live-not-done flows — kept exact so `active_flows()` and
+    /// `fair_share_estimate()` are O(1) and compaction triggers compare
+    /// against live work, not slab occupancy.
+    active: usize,
+    /// Live flows currently in [`Phase::Virtual`].
+    virtual_n: usize,
+    /// Rate classes keyed by `cap.to_bits()` (positive floats order the
+    /// same as their bit patterns). Dropped when the last member leaves.
+    classes: BTreeMap<u64, CapClass>,
+    /// Min-heap of `(v_finish, id)` over `Virtual` flows. Entries go
+    /// stale on cancel/re-level and are dropped lazily (validated
+    /// against the flow's current phase tag).
+    virt_heap: BinaryHeap<Reverse<(VKey, u64)>>,
+    /// Min-heap of `(fin, id)` over `Capped` flows; same lazy staleness.
+    cap_heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    /// The fair-share work function V: bits served to a `Virtual` flow
+    /// since the current busy period began (rebased to 0 at idle, so
+    /// magnitudes stay comparable to transfer sizes).
+    v_now: f64,
+    /// Current water level in bits/sec (slope of V). +∞ when every live
+    /// flow is saturated at its cap; 0 when idle.
+    level: Bps,
     next_flow: u64,
     last_update: SimTime,
     epoch: u64,
+    /// Flow ids finished during the event being processed, woken in id
+    /// order (the order the old full-scan collector produced).
+    finished: Vec<u64>,
+    /// Scratch for re-level flip lists, reused across events.
+    flips: Vec<u64>,
 }
 
 impl LinkState {
+    fn flow_ref(&self, id: u64) -> Option<&Flow> {
+        let idx = id.checked_sub(self.base_id)? as usize;
+        self.flows.get(idx)?.as_ref()
+    }
+
     fn flow_mut(&mut self, id: u64) -> Option<&mut Flow> {
         let idx = id.checked_sub(self.base_id)? as usize;
         self.flows.get_mut(idx)?.as_mut()
     }
 
-    fn insert_flow(&mut self, flow: Flow) {
-        self.flows.push_back(Some(flow));
-        self.live += 1;
-    }
-
-    fn remove_flow(&mut self, id: u64) -> Option<Flow> {
+    /// Take a flow out of the slab (reap or cancel). Pure slab
+    /// bookkeeping: live-flow accounting is the caller's job.
+    fn take_flow(&mut self, id: u64) -> Option<Flow> {
         let idx = id.checked_sub(self.base_id)? as usize;
         let f = self.flows.get_mut(idx)?.take();
         if f.is_some() {
-            self.live -= 1;
+            self.occupied -= 1;
             while let Some(None) = self.flows.front() {
                 self.flows.pop_front();
                 self.base_id += 1;
@@ -100,118 +216,329 @@ impl LinkState {
         f
     }
 
-    fn live_flows(&self) -> impl Iterator<Item = &Flow> {
-        self.flows.iter().flatten()
-    }
-
-    fn live_flows_mut(&mut self) -> impl Iterator<Item = &mut Flow> {
-        self.flows.iter_mut().flatten()
-    }
-
-    /// Charge elapsed time against remaining bytes at the current rates.
+    /// Advance V across the interval since the last event, at the slope
+    /// the previous re-level established.
     fn advance_to(&mut self, now: SimTime) {
         let dt = now.duration_since(self.last_update).as_secs_f64();
         self.last_update = now;
-        if dt <= 0.0 {
+        if dt > 0.0 && self.virtual_n > 0 && self.level > 0.0 {
+            self.v_now += self.level * dt;
+        }
+    }
+
+    /// Mark `id` finished as of the current event: drop it from the live
+    /// accounting and queue its waker (wakes happen in id order).
+    fn mark_done(&mut self, id: u64) {
+        let base = self.base_id;
+        let Some(flow) = self
+            .flows
+            .get_mut((id - base) as usize)
+            .and_then(Option::as_mut)
+        else {
             return;
+        };
+        debug_assert!(!flow.done);
+        flow.done = true;
+        flow.remaining_bits = 0.0;
+        let was_virtual = matches!(flow.phase, Phase::Virtual { .. });
+        let cap = flow.cap_bps;
+        self.active -= 1;
+        if was_virtual {
+            self.virtual_n -= 1;
         }
-        for flow in self.live_flows_mut() {
-            if flow.done {
-                continue;
-            }
-            flow.remaining_bits -= flow.rate_bps * dt;
-            // Completion boundaries are scheduled with ceil-rounding, so a
-            // sub-bit residue means "finished".
-            if flow.remaining_bits < 0.5 {
-                flow.remaining_bits = 0.0;
-                flow.done = true;
-            }
+        if let Some(cap) = cap {
+            self.drop_class_member(cap.to_bits());
+        }
+        self.finished.push(id);
+    }
+
+    fn drop_class_member(&mut self, bits: u64) {
+        let class = self.classes.get_mut(&bits).expect("flow's class exists");
+        class.members -= 1;
+        if class.members == 0 {
+            self.classes.remove(&bits);
         }
     }
 
-    /// Register `id` in the water-filling order (cap ascending, uncapped
-    /// last, id breaking ties — identical to a full sort's order).
-    fn order_insert(&mut self, id: u64, cap: Option<Bps>) {
-        let key = cap.unwrap_or(f64::INFINITY);
-        let pos = self
-            .order
-            .partition_point(|&(c, i)| c < key || (c == key && i < id));
-        self.order.insert(pos, (key, id));
-    }
-
-    /// Max–min fair allocation with per-flow caps (water-filling), as one
-    /// pass over the pre-sorted order.
-    fn reallocate(&mut self) {
-        // Compact lazily: entries for reaped flows are skipped below, but
-        // once they outnumber live ones, drop them (retain keeps order).
-        if self.order.len() > 2 * self.live {
-            let base = self.base_id;
-            let flows = &self.flows;
-            self.order.retain(|&(_, id)| {
-                id.checked_sub(base)
-                    .and_then(|i| flows.get(i as usize))
-                    .is_some_and(Option::is_some)
+    /// Validate the virtual heap's top, discarding stale entries; returns
+    /// the live minimum without popping it.
+    fn clean_virt_top(&mut self) -> Option<(f64, u64)> {
+        while let Some(&Reverse((VKey(vf), id))) = self.virt_heap.peek() {
+            let live = self.flow_ref(id).is_some_and(|f| {
+                !f.done
+                    && matches!(f.phase, Phase::Virtual { v_finish }
+                        if v_finish.to_bits() == vf.to_bits())
             });
-        }
-        let mut n_left = self.live_flows().filter(|f| !f.done).count();
-        if n_left == 0 {
-            return;
-        }
-        let mut remaining = self.capacity_bps;
-        for i in 0..self.order.len() {
-            let Some(flow) = self
-                .order[i]
-                .1
-                .checked_sub(self.base_id)
-                .and_then(|idx| self.flows.get_mut(idx as usize))
-                .and_then(Option::as_mut)
-            else {
-                continue; // reaped; compacted eventually
-            };
-            if flow.done {
-                continue;
+            if live {
+                return Some((vf, id));
             }
-            let fair = remaining / n_left as f64;
-            let rate = match flow.cap_bps {
-                Some(cap) => cap.min(fair),
-                None => fair,
-            };
-            flow.rate_bps = rate;
-            remaining -= rate;
-            n_left -= 1;
-            if n_left == 0 {
+            self.virt_heap.pop();
+        }
+        None
+    }
+
+    /// Validate the capped heap's top, discarding stale entries.
+    fn clean_cap_top(&mut self) -> Option<(SimTime, u64)> {
+        while let Some(&Reverse((fin, id))) = self.cap_heap.peek() {
+            let live = self.flow_ref(id).is_some_and(|f| {
+                !f.done && matches!(f.phase, Phase::Capped { fin: f2, .. } if f2 == fin)
+            });
+            if live {
+                return Some((fin, id));
+            }
+            self.cap_heap.pop();
+        }
+        None
+    }
+
+    /// Pop every flow whose completion boundary has been reached:
+    /// `Virtual` flows with less than [`DONE_EPS_BITS`] of virtual
+    /// service left, `Capped` flows whose fixed instant has arrived.
+    fn settle_completions(&mut self, now: SimTime) {
+        while let Some((vf, id)) = self.clean_virt_top() {
+            if vf - self.v_now < DONE_EPS_BITS {
+                self.virt_heap.pop();
+                self.mark_done(id);
+            } else {
+                break;
+            }
+        }
+        while let Some((fin, id)) = self.clean_cap_top() {
+            if fin <= now {
+                self.cap_heap.pop();
+                self.mark_done(id);
+            } else {
                 break;
             }
         }
     }
 
-    /// Earliest projected completion among active flows.
-    fn next_completion(&self, now: SimTime) -> Option<SimTime> {
-        let mut best: Option<f64> = None;
-        for flow in self.live_flows() {
-            if flow.done || flow.rate_bps <= 0.0 {
-                continue;
-            }
-            let secs = flow.remaining_bits / flow.rate_bps;
-            best = Some(match best {
-                Some(b) => b.min(secs),
-                None => secs,
-            });
+    /// Recompute the water level from the class aggregates and lazily
+    /// re-level any class the level crossed. O(classes) plus O(size) for
+    /// each class that actually flipped sides.
+    fn relevel(&mut self, now: SimTime) {
+        if self.active == 0 {
+            // Idle: rebase the busy period so V stays at transfer-size
+            // magnitudes, and drop whatever stale entries remain.
+            self.level = 0.0;
+            self.v_now = 0.0;
+            self.virt_heap.clear();
+            self.cap_heap.clear();
+            self.classes.clear();
+            return;
         }
-        best.map(|secs| {
-            // Ceil to the next nanosecond so advance_to() sees the flow done.
-            let ns = (secs * 1e9).ceil().max(1.0) as u64;
-            now + SimDuration::from_nanos(ns)
-        })
+        // Water-fill over class aggregates, cap-ascending: a class whose
+        // cap is below the running fair share is saturated (members
+        // pinned at cap) and surrenders its slack to everyone above.
+        let mut budget = self.capacity_bps;
+        let mut n_rem = self.active;
+        let mut boundary = u64::MAX; // first cap (as bits) NOT saturated
+        for (&bits, class) in self.classes.iter() {
+            let fair = budget / n_rem as f64;
+            if class.cap < fair {
+                budget -= class.cap * class.members as f64;
+                n_rem -= class.members;
+            } else {
+                boundary = bits;
+                break;
+            }
+        }
+        self.level = if n_rem > 0 {
+            budget / n_rem as f64
+        } else {
+            f64::INFINITY
+        };
+        // Flip classes whose side changed.
+        self.flips.clear();
+        let mut flips = std::mem::take(&mut self.flips);
+        for (&bits, class) in self.classes.iter() {
+            if class.saturated != (bits < boundary) {
+                flips.push(bits);
+            }
+        }
+        for &bits in &flips {
+            self.flip_class(bits, now);
+        }
+        self.flips = flips;
     }
 
-    fn collect_finished_wakers(&mut self) -> Vec<Waker> {
-        self.flows
-            .iter_mut()
-            .flatten()
-            .filter(|f| f.done)
-            .filter_map(|f| f.waker.take())
-            .collect()
+    /// Move every member of class `bits` across the water level: charge
+    /// the service accrued in the old regime, then re-base in the new
+    /// one. Members already on the target side (fresh joiners) and stale
+    /// ids are skipped; stale ids are dropped while we're here.
+    fn flip_class(&mut self, bits: u64, now: SimTime) {
+        let (cap, to_sat, mut ids) = {
+            let class = self.classes.get_mut(&bits).expect("flipping a live class");
+            class.saturated = !class.saturated;
+            (class.cap, class.saturated, std::mem::take(&mut class.ids))
+        };
+        let base = self.base_id;
+        ids.retain(|&id| {
+            id.checked_sub(base)
+                .and_then(|i| self.flows.get(i as usize))
+                .and_then(Option::as_ref)
+                .is_some_and(|f| !f.done && f.cap_bps.map(f64::to_bits) == Some(bits))
+        });
+        for &id in &ids {
+            self.relevel_member(id, cap, to_sat, now);
+        }
+        if let Some(class) = self.classes.get_mut(&bits) {
+            class.ids = ids;
+        }
+    }
+
+    /// Re-base one capped flow on the other side of the water level.
+    fn relevel_member(&mut self, id: u64, cap: Bps, to_sat: bool, now: SimTime) {
+        let v_now = self.v_now;
+        let base = self.base_id;
+        let Some(flow) = self
+            .flows
+            .get_mut((id - base) as usize)
+            .and_then(Option::as_mut)
+        else {
+            return;
+        };
+        match (flow.phase, to_sat) {
+            (Phase::Virtual { v_finish }, true) => {
+                let rem = v_finish - v_now;
+                if rem < DONE_EPS_BITS {
+                    flow.phase = Phase::Capped { since: now, fin: now };
+                    self.virtual_n -= 1;
+                    self.mark_done(id);
+                } else {
+                    flow.remaining_bits = rem;
+                    let fin = now.saturating_add(ceil_ns(rem / cap));
+                    flow.phase = Phase::Capped { since: now, fin };
+                    self.virtual_n -= 1;
+                    self.cap_heap.push(Reverse((fin, id)));
+                }
+            }
+            (Phase::Capped { since, .. }, false) => {
+                let dt = now.duration_since(since).as_secs_f64();
+                let rem = flow.remaining_bits - cap * dt;
+                if rem < DONE_EPS_BITS {
+                    flow.phase = Phase::Virtual { v_finish: v_now };
+                    self.virtual_n += 1;
+                    self.mark_done(id);
+                } else {
+                    flow.remaining_bits = rem;
+                    let v_finish = v_now + rem;
+                    flow.phase = Phase::Virtual { v_finish };
+                    self.virtual_n += 1;
+                    self.virt_heap.push(Reverse((VKey(v_finish), id)));
+                }
+            }
+            // Already on the target side (a joiner re-based by
+            // `place_joiner`, or a double flip within one event).
+            _ => {}
+        }
+    }
+
+    /// A freshly joined capped flow enters as `Virtual` (zero service so
+    /// far); if its class sits below the water level after the re-level,
+    /// pin it at its cap now.
+    fn place_joiner(&mut self, id: u64, now: SimTime) {
+        let Some(flow) = self.flow_ref(id) else { return };
+        if flow.done {
+            return;
+        }
+        let Some(cap) = flow.cap_bps else { return };
+        let saturated = self
+            .classes
+            .get(&cap.to_bits())
+            .is_some_and(|c| c.saturated);
+        if saturated && matches!(flow.phase, Phase::Virtual { .. }) {
+            self.relevel_member(id, cap, true, now);
+        }
+    }
+
+    /// Earliest projected completion among live flows: the virtual
+    /// heap's minimum translated through the current level, against the
+    /// capped heap's fixed minimum.
+    fn next_completion(&mut self, now: SimTime) -> Option<SimTime> {
+        self.maybe_compact_heaps();
+        let virt = self.clean_virt_top().and_then(|(vf, _)| {
+            if self.level > 0.0 && self.level.is_finite() {
+                Some(now.saturating_add(ceil_ns((vf - self.v_now) / self.level)))
+            } else {
+                None
+            }
+        });
+        let capped = self.clean_cap_top().map(|(fin, _)| fin.max(now));
+        match (virt, capped) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Rebuild a heap once stale entries outnumber live flows (plus
+    /// slack), bounding memory under cancel/flip-heavy churn. Thresholds
+    /// compare against live counts, never slab occupancy.
+    fn maybe_compact_heaps(&mut self) {
+        if self.virt_heap.len() > 64 + 2 * self.virtual_n {
+            let heap = std::mem::take(&mut self.virt_heap);
+            let mut entries = heap.into_vec();
+            entries.retain(|&Reverse((VKey(vf), id))| {
+                self.flow_ref(id).is_some_and(|f| {
+                    !f.done
+                        && matches!(f.phase, Phase::Virtual { v_finish }
+                            if v_finish.to_bits() == vf.to_bits())
+                })
+            });
+            self.virt_heap = BinaryHeap::from(entries);
+        }
+        let capped_n = self.active - self.virtual_n;
+        if self.cap_heap.len() > 64 + 2 * capped_n {
+            let heap = std::mem::take(&mut self.cap_heap);
+            let mut entries = heap.into_vec();
+            entries.retain(|&Reverse((fin, id))| {
+                self.flow_ref(id).is_some_and(|f| {
+                    !f.done && matches!(f.phase, Phase::Capped { fin: f2, .. } if f2 == fin)
+                })
+            });
+            self.cap_heap = BinaryHeap::from(entries);
+        }
+    }
+
+    /// Register a capped joiner in its rate class (creating the class at
+    /// the current side of the water level if it is new) and compact the
+    /// member list when stale ids dominate live ones.
+    fn class_insert(&mut self, id: u64, cap: Bps) {
+        let bits = cap.to_bits();
+        let class = self.classes.entry(bits).or_insert_with(|| CapClass {
+            cap,
+            members: 0,
+            saturated: false,
+            ids: Vec::new(),
+        });
+        class.members += 1;
+        class.ids.push(id);
+        if class.ids.len() > 64 + 2 * class.members {
+            let members = std::mem::take(&mut class.ids);
+            let base = self.base_id;
+            let kept: Vec<u64> = members
+                .into_iter()
+                .filter(|&fid| {
+                    fid.checked_sub(base)
+                        .and_then(|i| self.flows.get(i as usize))
+                        .and_then(Option::as_ref)
+                        .is_some_and(|f| !f.done && f.cap_bps.map(f64::to_bits) == Some(bits))
+                })
+                .collect();
+            self.classes.get_mut(&bits).expect("just inserted").ids = kept;
+        }
+    }
+
+    /// Drop a live (not done) flow from the accounting counters; the
+    /// slab entry is handled separately by [`LinkState::take_flow`].
+    fn forget_live(&mut self, flow: &Flow) {
+        self.active -= 1;
+        if matches!(flow.phase, Phase::Virtual { .. }) {
+            self.virtual_n -= 1;
+        }
+        if let Some(cap) = flow.cap_bps {
+            self.drop_class_member(cap.to_bits());
+        }
     }
 }
 
@@ -232,11 +559,19 @@ impl FairShareLink {
                 capacity_bps,
                 flows: VecDeque::new(),
                 base_id: 0,
-                live: 0,
-                order: Vec::new(),
+                occupied: 0,
+                active: 0,
+                virtual_n: 0,
+                classes: BTreeMap::new(),
+                virt_heap: BinaryHeap::new(),
+                cap_heap: BinaryHeap::new(),
+                v_now: 0.0,
+                level: 0.0,
                 next_flow: 0,
                 last_update: sim.now(),
                 epoch: 0,
+                finished: Vec::new(),
+                flips: Vec::new(),
             })),
         }
     }
@@ -246,17 +581,16 @@ impl FairShareLink {
         self.st.borrow().capacity_bps
     }
 
-    /// Number of in-flight transfers.
+    /// Number of in-flight transfers. O(1): a live counter, not a scan.
     pub fn active_flows(&self) -> usize {
-        self.st.borrow().live_flows().filter(|f| !f.done).count()
+        self.st.borrow().active
     }
 
     /// Current rate of a hypothetical new uncapped flow, in bits/second —
-    /// useful for instrumentation.
+    /// useful for instrumentation. O(1).
     pub fn fair_share_estimate(&self) -> Bps {
         let st = self.st.borrow();
-        let n = st.live_flows().filter(|f| !f.done).count() + 1;
-        st.capacity_bps / n as f64
+        st.capacity_bps / (st.active + 1) as f64
     }
 
     /// Transfer `bytes` through the link, optionally capped at
@@ -281,13 +615,28 @@ impl FairShareLink {
         SimDuration::from_secs_f64(bytes as f64 * 8.0 / rate)
     }
 
-    fn on_change(&self) {
+    /// Process one state change: charge the elapsed interval into V,
+    /// settle completions, re-fill the water level, place a just-joined
+    /// flow, wake finishers (in flow-id order), and re-arm the
+    /// epoch-guarded completion callback.
+    fn on_change(&self, joined: Option<u64>) {
         let (wakers, next) = {
             let mut st = self.st.borrow_mut();
             let now = self.sim.now();
             st.advance_to(now);
-            st.reallocate();
-            let wakers = st.collect_finished_wakers();
+            st.settle_completions(now);
+            st.relevel(now);
+            if let Some(id) = joined {
+                st.place_joiner(id, now);
+            }
+            let mut finished = std::mem::take(&mut st.finished);
+            finished.sort_unstable();
+            let wakers: Vec<Waker> = finished
+                .iter()
+                .filter_map(|&id| st.flow_mut(id).and_then(|f| f.waker.take()))
+                .collect();
+            finished.clear();
+            st.finished = finished;
             st.epoch += 1;
             (wakers, st.next_completion(now).map(|t| (t, st.epoch)))
         };
@@ -304,10 +653,10 @@ impl FairShareLink {
         {
             let st = self.st.borrow();
             if st.epoch != epoch {
-                return; // stale callback; a newer reallocation superseded it
+                return; // stale callback; a newer change superseded it
             }
         }
-        self.on_change();
+        self.on_change(None);
     }
 
     fn add_flow(&self, bits: f64, cap: Option<Bps>, waker: Waker) -> u64 {
@@ -317,17 +666,27 @@ impl FairShareLink {
             st.advance_to(now);
             let id = st.next_flow;
             st.next_flow += 1;
-            st.insert_flow(Flow {
+            // Every flow enters as `Virtual` with zero accrued service;
+            // `place_joiner` pins it at its cap right after the re-level
+            // if its class sits below the water level.
+            let v_finish = st.v_now + bits;
+            st.flows.push_back(Some(Flow {
                 remaining_bits: bits,
                 cap_bps: cap,
-                rate_bps: 0.0,
+                phase: Phase::Virtual { v_finish },
                 waker: Some(waker),
                 done: false,
-            });
-            st.order_insert(id, cap);
+            }));
+            st.occupied += 1;
+            st.active += 1;
+            st.virtual_n += 1;
+            st.virt_heap.push(Reverse((VKey(v_finish), id)));
+            if let Some(cap) = cap {
+                st.class_insert(id, cap);
+            }
             id
         };
-        self.on_change();
+        self.on_change(Some(id));
         id
     }
 
@@ -335,7 +694,7 @@ impl FairShareLink {
         let mut st = self.st.borrow_mut();
         match st.flow_mut(id) {
             Some(f) if f.done => {
-                st.remove_flow(id);
+                st.take_flow(id);
                 true
             }
             Some(f) => {
@@ -349,11 +708,39 @@ impl FairShareLink {
     fn cancel_flow(&self, id: u64) {
         let removed = {
             let mut st = self.st.borrow_mut();
-            st.remove_flow(id).is_some()
+            match st.take_flow(id) {
+                Some(flow) => {
+                    if !flow.done {
+                        st.forget_live(&flow);
+                    }
+                    true
+                }
+                None => false,
+            }
         };
         if removed {
-            self.on_change();
+            self.on_change(None);
         }
+    }
+
+    /// Rates currently allocated to live flows, as `(id, rate, cap)` —
+    /// for the water-filling invariant tests.
+    #[cfg(test)]
+    fn snapshot_rates(&self) -> Vec<(u64, f64, Option<f64>)> {
+        let st = self.st.borrow();
+        (st.base_id..st.base_id + st.flows.len() as u64)
+            .filter_map(|id| {
+                let f = st.flow_ref(id)?;
+                if f.done {
+                    return None;
+                }
+                let rate = match f.phase {
+                    Phase::Virtual { .. } => st.level,
+                    Phase::Capped { .. } => f.cap_bps.expect("capped flow has a cap"),
+                };
+                Some((id, rate, f.cap_bps))
+            })
+            .collect()
     }
 }
 
@@ -413,9 +800,355 @@ impl Drop for Transfer {
     }
 }
 
+/// O(n)-rescan reference allocator, retained as the differential oracle
+/// for the heap-and-bucket machinery above. It shares the production
+/// allocator's per-flow accounting formulas — the same V(t) advance, the
+/// same phase-transition arithmetic in the same operation order, the same
+/// ceil-to-nanosecond rounding — but recomputes everything by scanning
+/// every flow on every event: no heaps, no rate classes, no lazy
+/// staleness. Any disagreement in completion nanoseconds therefore
+/// indicts the incremental bookkeeping, not floating-point noise.
+#[cfg(test)]
+mod reference {
+    use super::*;
+
+    struct RefFlow {
+        remaining_bits: f64,
+        cap_bps: Option<Bps>,
+        phase: Phase,
+        waker: Option<Waker>,
+        done: bool,
+    }
+
+    struct RefState {
+        capacity_bps: Bps,
+        flows: Vec<Option<RefFlow>>,
+        active: usize,
+        virtual_n: usize,
+        v_now: f64,
+        level: Bps,
+        last_update: SimTime,
+        epoch: u64,
+    }
+
+    impl RefState {
+        fn advance_to(&mut self, now: SimTime) {
+            let dt = now.duration_since(self.last_update).as_secs_f64();
+            self.last_update = now;
+            if dt > 0.0 && self.virtual_n > 0 && self.level > 0.0 {
+                self.v_now += self.level * dt;
+            }
+        }
+    }
+
+    #[derive(Clone)]
+    pub(super) struct RefLink {
+        sim: Sim,
+        st: Rc<RefCell<RefState>>,
+    }
+
+    impl RefLink {
+        pub(super) fn new(sim: &Sim, capacity_bps: Bps) -> RefLink {
+            RefLink {
+                sim: sim.clone(),
+                st: Rc::new(RefCell::new(RefState {
+                    capacity_bps,
+                    flows: Vec::new(),
+                    active: 0,
+                    virtual_n: 0,
+                    v_now: 0.0,
+                    level: 0.0,
+                    last_update: sim.now(),
+                    epoch: 0,
+                })),
+            }
+        }
+
+        pub(super) fn transfer(&self, bytes: u64, cap: Option<Bps>) -> RefTransfer {
+            RefTransfer {
+                link: self.clone(),
+                bytes,
+                cap,
+                flow: None,
+            }
+        }
+
+        fn on_change(&self) {
+            let (wakers, next) = {
+                let mut st = self.st.borrow_mut();
+                let now = self.sim.now();
+                st.advance_to(now);
+                let mut finished: Vec<u64> = Vec::new();
+                // Settle: full scan for reached completion boundaries.
+                let v_now = st.v_now;
+                for (i, slot) in st.flows.iter_mut().enumerate() {
+                    let Some(f) = slot.as_mut() else { continue };
+                    if f.done {
+                        continue;
+                    }
+                    let hit = match f.phase {
+                        Phase::Virtual { v_finish } => v_finish - v_now < DONE_EPS_BITS,
+                        Phase::Capped { fin, .. } => fin <= now,
+                    };
+                    if hit {
+                        f.done = true;
+                        f.remaining_bits = 0.0;
+                        finished.push(i as u64);
+                    }
+                }
+                st.active = st
+                    .flows
+                    .iter()
+                    .flatten()
+                    .filter(|f| !f.done)
+                    .count();
+                // Re-level: full water-fill from scratch, then convert
+                // every flow sitting on the wrong side of the level.
+                if st.active == 0 {
+                    st.level = 0.0;
+                    st.v_now = 0.0;
+                } else {
+                    let mut classes: BTreeMap<u64, (f64, usize)> = BTreeMap::new();
+                    for f in st.flows.iter().flatten() {
+                        if !f.done {
+                            if let Some(c) = f.cap_bps {
+                                classes.entry(c.to_bits()).or_insert((c, 0)).1 += 1;
+                            }
+                        }
+                    }
+                    let mut budget = st.capacity_bps;
+                    let mut n_rem = st.active;
+                    let mut boundary = u64::MAX;
+                    for (&bits, &(cap, m)) in classes.iter() {
+                        let fair = budget / n_rem as f64;
+                        if cap < fair {
+                            budget -= cap * m as f64;
+                            n_rem -= m;
+                        } else {
+                            boundary = bits;
+                            break;
+                        }
+                    }
+                    st.level = if n_rem > 0 {
+                        budget / n_rem as f64
+                    } else {
+                        f64::INFINITY
+                    };
+                    let v_now = st.v_now;
+                    for (i, slot) in st.flows.iter_mut().enumerate() {
+                        let Some(f) = slot.as_mut() else { continue };
+                        if f.done {
+                            continue;
+                        }
+                        let Some(cap) = f.cap_bps else { continue };
+                        let to_sat = cap.to_bits() < boundary;
+                        match (f.phase, to_sat) {
+                            (Phase::Virtual { v_finish }, true) => {
+                                let rem = v_finish - v_now;
+                                if rem < DONE_EPS_BITS {
+                                    f.done = true;
+                                    f.remaining_bits = 0.0;
+                                    finished.push(i as u64);
+                                } else {
+                                    f.remaining_bits = rem;
+                                    let fin = now.saturating_add(ceil_ns(rem / cap));
+                                    f.phase = Phase::Capped { since: now, fin };
+                                }
+                            }
+                            (Phase::Capped { since, .. }, false) => {
+                                let dt = now.duration_since(since).as_secs_f64();
+                                let rem = f.remaining_bits - cap * dt;
+                                if rem < DONE_EPS_BITS {
+                                    f.done = true;
+                                    f.remaining_bits = 0.0;
+                                    finished.push(i as u64);
+                                } else {
+                                    f.remaining_bits = rem;
+                                    f.phase = Phase::Virtual { v_finish: v_now + rem };
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    st.virtual_n = st
+                        .flows
+                        .iter()
+                        .flatten()
+                        .filter(|f| !f.done && matches!(f.phase, Phase::Virtual { .. }))
+                        .count();
+                    st.active = st
+                        .flows
+                        .iter()
+                        .flatten()
+                        .filter(|f| !f.done)
+                        .count();
+                }
+                finished.sort_unstable();
+                let wakers: Vec<Waker> = finished
+                    .iter()
+                    .filter_map(|&i| {
+                        st.flows
+                            .get_mut(i as usize)
+                            .and_then(Option::as_mut)
+                            .and_then(|f| f.waker.take())
+                    })
+                    .collect();
+                st.epoch += 1;
+                // Next completion: full scan.
+                let mut best: Option<SimTime> = None;
+                let level = st.level;
+                let v_now = st.v_now;
+                for f in st.flows.iter().flatten() {
+                    if f.done {
+                        continue;
+                    }
+                    let cand = match f.phase {
+                        Phase::Virtual { v_finish } => {
+                            if level > 0.0 && level.is_finite() {
+                                now.saturating_add(ceil_ns((v_finish - v_now) / level))
+                            } else {
+                                continue;
+                            }
+                        }
+                        Phase::Capped { fin, .. } => fin.max(now),
+                    };
+                    best = Some(best.map_or(cand, |b: SimTime| b.min(cand)));
+                }
+                (wakers, best.map(|t| (t, st.epoch)))
+            };
+            for w in wakers {
+                w.wake();
+            }
+            if let Some((at, epoch)) = next {
+                let link = self.clone();
+                self.sim.call_at(at, move || link.on_timer(epoch));
+            }
+        }
+
+        fn on_timer(&self, epoch: u64) {
+            if self.st.borrow().epoch != epoch {
+                return;
+            }
+            self.on_change();
+        }
+
+        fn add_flow(&self, bits: f64, cap: Option<Bps>, waker: Waker) -> u64 {
+            {
+                let mut st = self.st.borrow_mut();
+                let now = self.sim.now();
+                st.advance_to(now);
+                let v_finish = st.v_now + bits;
+                st.flows.push(Some(RefFlow {
+                    remaining_bits: bits,
+                    cap_bps: cap,
+                    phase: Phase::Virtual { v_finish },
+                    waker: Some(waker),
+                    done: false,
+                }));
+                st.active += 1;
+                st.virtual_n += 1;
+            }
+            let id = self.st.borrow().flows.len() as u64 - 1;
+            self.on_change();
+            id
+        }
+
+        fn poll_flow(&self, id: u64, waker: &Waker) -> bool {
+            let mut st = self.st.borrow_mut();
+            match st.flows.get_mut(id as usize).and_then(Option::as_mut) {
+                Some(f) if f.done => {
+                    st.flows[id as usize] = None;
+                    true
+                }
+                Some(f) => {
+                    f.waker = Some(waker.clone());
+                    false
+                }
+                None => true,
+            }
+        }
+
+        fn cancel_flow(&self, id: u64) {
+            let removed = {
+                let mut st = self.st.borrow_mut();
+                match st.flows.get_mut(id as usize).and_then(Option::take) {
+                    Some(flow) => {
+                        if !flow.done {
+                            st.active -= 1;
+                            if matches!(flow.phase, Phase::Virtual { .. }) {
+                                st.virtual_n -= 1;
+                            }
+                        }
+                        true
+                    }
+                    None => false,
+                }
+            };
+            if removed {
+                self.on_change();
+            }
+        }
+    }
+
+    pub(super) struct RefTransfer {
+        link: RefLink,
+        bytes: u64,
+        cap: Option<Bps>,
+        flow: Option<u64>,
+    }
+
+    impl Future for RefTransfer {
+        type Output = ();
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            let this = self.get_mut();
+            match this.flow {
+                None => {
+                    if this.bytes == 0 {
+                        this.flow = Some(u64::MAX);
+                        return Poll::Ready(());
+                    }
+                    let id = this.link.add_flow(
+                        this.bytes as f64 * 8.0,
+                        this.cap,
+                        cx.waker().clone(),
+                    );
+                    if this.link.poll_flow(id, cx.waker()) {
+                        this.flow = Some(u64::MAX);
+                        return Poll::Ready(());
+                    }
+                    this.flow = Some(id);
+                    Poll::Pending
+                }
+                Some(u64::MAX) => Poll::Ready(()),
+                Some(id) => {
+                    if this.link.poll_flow(id, cx.waker()) {
+                        this.flow = Some(u64::MAX);
+                        Poll::Ready(())
+                    } else {
+                        Poll::Pending
+                    }
+                }
+            }
+        }
+    }
+
+    impl Drop for RefTransfer {
+        fn drop(&mut self) {
+            if let Some(id) = self.flow {
+                if id != u64::MAX {
+                    self.link.cancel_flow(id);
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::Recorder;
+    use proptest::prelude::*;
     use std::cell::Cell;
     use std::rc::Rc;
 
@@ -598,9 +1331,9 @@ mod tests {
 
     #[test]
     fn heavy_churn_with_mixed_caps_stays_fair() {
-        // Exercises the incremental order vec: staggered joins (binary
-        // search insert), cancels and completions (lazy removal), and
-        // enough turnover to trigger compaction.
+        // Exercises the lazy structures: staggered joins, cancels and
+        // completions (stale heap/class entries), and enough turnover to
+        // trigger compaction.
         let sim = Sim::new(1);
         let link = FairShareLink::new(&sim, mbps(100.0));
         for i in 0..60u64 {
@@ -653,5 +1386,263 @@ mod tests {
         assert_eq!(mbps(1.0), 1e6);
         assert_eq!(gbps(1.0), 1e9);
         assert_eq!(mbytes_per_sec(1.0), 8e6);
+    }
+
+    #[test]
+    fn capped_class_releveled_when_water_level_crosses() {
+        // Two flows capped at 3 Mbps on an 8 Mbps link run saturated
+        // (fair share 4 > cap 3). Two uncapped joiners at t=1s push the
+        // water level to 2 Mbps — below the cap — so the class must be
+        // re-leveled onto virtual time, and back once the joiners drain.
+        let sim = Sim::new(1);
+        let link = FairShareLink::new(&sim, mbps(8.0));
+        let capped_done = Rc::new(RefCell::new(Vec::new()));
+        let open_done = Rc::new(RefCell::new(Vec::new()));
+        for _ in 0..2 {
+            let l = link.clone();
+            let s = sim.clone();
+            let fin = capped_done.clone();
+            sim.spawn(async move {
+                l.transfer(3_000_000, Some(mbps(3.0))).await; // 24 Mb
+                fin.borrow_mut().push(s.now().as_secs_f64());
+            });
+        }
+        for _ in 0..2 {
+            let l = link.clone();
+            let s = sim.clone();
+            let fin = open_done.clone();
+            sim.spawn(async move {
+                s.sleep(secs(1.0)).await;
+                l.transfer(125_000, None).await; // 1 Mb
+                fin.borrow_mut().push(s.now().as_secs_f64());
+            });
+        }
+        sim.run();
+        // Uncapped: 1 Mb at level 8/4 = 2 Mbps -> done at 1.5 s.
+        for &t in open_done.borrow().iter() {
+            assert!((t - 1.5).abs() < 1e-6, "uncapped at {t}");
+        }
+        // Capped: 3 Mbps for 1 s (21 Mb left), 2 Mbps for 0.5 s (20 Mb
+        // left), then 3 Mbps again: done at 1.5 + 20/3 s.
+        let want = 1.5 + 20.0 / 3.0;
+        for &t in capped_done.borrow().iter() {
+            assert!((t - want).abs() < 1e-6, "capped at {t}, want {want}");
+        }
+        assert_eq!(link.active_flows(), 0);
+    }
+
+    #[test]
+    fn twenty_thousand_flow_fan_in_completes() {
+        // Scale smoke for the heap path (the benches push this to 1M in
+        // release mode): staggered joins, mixed caps, all must drain.
+        let sim = Sim::new(3);
+        let link = FairShareLink::new(&sim, gbps(10.0));
+        let done = Rc::new(Cell::new(0u32));
+        for i in 0..20_000u64 {
+            let l = link.clone();
+            let s = sim.clone();
+            let d = done.clone();
+            sim.spawn(async move {
+                s.sleep(SimDuration::from_micros(i * 11)).await;
+                let cap = if i % 4 == 0 { Some(mbps(10.0)) } else { None };
+                l.transfer(100_000, cap).await;
+                d.set(d.get() + 1);
+            });
+        }
+        sim.run();
+        assert_eq!(done.get(), 20_000);
+        assert_eq!(link.active_flows(), 0);
+        assert!((link.fair_share_estimate() - gbps(10.0)).abs() < 1.0);
+    }
+
+    /// One randomized transfer in a churn schedule.
+    #[derive(Debug, Clone)]
+    struct ChurnOp {
+        delay_us: u64,
+        bytes: u64,
+        cap_sel: u8,
+        cancel_after_us: Option<u64>,
+    }
+
+    const CAP_FRACS: [f64; 5] = [0.02, 0.05, 0.1, 0.3, 1.25];
+
+    fn cap_of(sel: u8, capacity: f64) -> Option<Bps> {
+        if sel == 0 {
+            None
+        } else {
+            Some(capacity * CAP_FRACS[(sel as usize - 1) % CAP_FRACS.len()])
+        }
+    }
+
+    fn churn_op() -> impl Strategy<Value = ChurnOp> {
+        (
+            0u64..60_000,
+            prop_oneof![Just(0u64), 1u64..3_000_000],
+            0u8..6,
+            prop_oneof![Just(None), (1u64..50_000).prop_map(Some)],
+        )
+            .prop_map(|(delay_us, bytes, cap_sel, cancel_after_us)| ChurnOp {
+                delay_us,
+                bytes,
+                cap_sel,
+                cancel_after_us,
+            })
+    }
+
+    /// Anything that hands out awaitable transfers — lets one driver run
+    /// the production link and the O(n) reference oracle identically.
+    trait AnyLink: Clone + 'static {
+        type Fut: Future<Output = ()> + 'static;
+        fn xfer(&self, bytes: u64, cap: Option<Bps>) -> Self::Fut;
+    }
+
+    impl AnyLink for FairShareLink {
+        type Fut = Transfer;
+        fn xfer(&self, bytes: u64, cap: Option<Bps>) -> Transfer {
+            self.transfer(bytes, cap)
+        }
+    }
+
+    impl AnyLink for reference::RefLink {
+        type Fut = reference::RefTransfer;
+        fn xfer(&self, bytes: u64, cap: Option<Bps>) -> Self::Fut {
+            self.transfer(bytes, cap)
+        }
+    }
+
+    /// Drive a churn schedule, returning each op's completion instant in
+    /// nanoseconds (None if canceled) plus the recorder digest.
+    fn run_churn<L: AnyLink>(
+        link: L,
+        sim: Sim,
+        capacity: f64,
+        ops: &[ChurnOp],
+    ) -> (Vec<Option<u64>>, String) {
+        let rec = Recorder::new();
+        let results = Rc::new(RefCell::new(vec![None; ops.len()]));
+        for (i, op) in ops.iter().cloned().enumerate() {
+            let l = link.clone();
+            let s = sim.clone();
+            let res = results.clone();
+            let rec = rec.clone();
+            sim.spawn(async move {
+                s.sleep(SimDuration::from_micros(op.delay_us)).await;
+                let cap = cap_of(op.cap_sel, capacity);
+                let fut = l.xfer(op.bytes, cap);
+                let finished = match op.cancel_after_us {
+                    Some(c) => s.timeout(SimDuration::from_micros(c), fut).await.is_some(),
+                    None => {
+                        fut.await;
+                        true
+                    }
+                };
+                if finished {
+                    res.borrow_mut()[i] = Some(s.now().as_nanos());
+                    rec.record("completion_ns", s.now().as_nanos() as f64);
+                } else {
+                    rec.record("canceled_at_ns", s.now().as_nanos() as f64);
+                }
+            });
+        }
+        sim.run();
+        let out = results.borrow().clone();
+        (out, rec.digest())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Differential oracle: randomized churn through the virtual-time
+        /// allocator and the O(n)-rescan reference must produce identical
+        /// completion nanoseconds and identical recorder digests.
+        #[test]
+        fn virtual_time_matches_rescan_reference(
+            capacity in prop_oneof![Just(8e6f64), Just(1e8), Just(5.74e8)],
+            ops in prop::collection::vec(churn_op(), 1..30),
+        ) {
+            let sim_a = Sim::new(11);
+            let link_a = FairShareLink::new(&sim_a, capacity);
+            let (fin_a, dig_a) = run_churn(link_a.clone(), sim_a, capacity, &ops);
+
+            let sim_b = Sim::new(11);
+            let link_b = reference::RefLink::new(&sim_b, capacity);
+            let (fin_b, dig_b) = run_churn(link_b, sim_b, capacity, &ops);
+
+            prop_assert_eq!(fin_a, fin_b);
+            prop_assert_eq!(dig_a, dig_b);
+            prop_assert_eq!(link_a.active_flows(), 0);
+        }
+
+        /// Water-filling invariants, sampled mid-churn on the production
+        /// allocator: rates never exceed capacity or a flow's cap, and
+        /// every flow below the common level is pinned at its own cap
+        /// (max-min dominance).
+        #[test]
+        fn water_filling_invariants_hold(
+            capacity in prop_oneof![Just(8e6f64), Just(1e8), Just(5.74e8)],
+            ops in prop::collection::vec(churn_op(), 1..30),
+        ) {
+            let sim = Sim::new(13);
+            let link = FairShareLink::new(&sim, capacity);
+            let violations = Rc::new(RefCell::new(Vec::new()));
+            for (i, op) in ops.iter().cloned().enumerate() {
+                let l = link.clone();
+                let s = sim.clone();
+                sim.spawn(async move {
+                    s.sleep(SimDuration::from_micros(op.delay_us)).await;
+                    let cap = cap_of(op.cap_sel, capacity);
+                    let fut = l.xfer(op.bytes, cap);
+                    match op.cancel_after_us {
+                        Some(c) => {
+                            s.timeout(SimDuration::from_micros(c), fut).await;
+                        }
+                        None => fut.await,
+                    }
+                    let _ = i;
+                });
+            }
+            let sampler_link = link.clone();
+            let s = sim.clone();
+            let viol = violations.clone();
+            sim.spawn(async move {
+                for _ in 0..120 {
+                    s.sleep(SimDuration::from_micros(997)).await;
+                    let rates = sampler_link.snapshot_rates();
+                    if rates.len() != sampler_link.active_flows() {
+                        viol.borrow_mut().push(format!(
+                            "active_flows {} != snapshot {}",
+                            sampler_link.active_flows(),
+                            rates.len()
+                        ));
+                    }
+                    let total: f64 = rates.iter().map(|r| r.1).sum();
+                    if total > capacity * (1.0 + 1e-6) {
+                        viol.borrow_mut()
+                            .push(format!("sum {} > capacity {}", total, capacity));
+                    }
+                    let max_rate = rates.iter().map(|r| r.1).fold(0.0f64, f64::max);
+                    for &(id, rate, cap) in &rates {
+                        if let Some(cap) = cap {
+                            if rate > cap * (1.0 + 1e-9) {
+                                viol.borrow_mut()
+                                    .push(format!("flow {id} rate {rate} > cap {cap}"));
+                            }
+                        }
+                        // Max-min dominance: a flow below the maximum
+                        // rate must be running at its own cap.
+                        if rate < max_rate * (1.0 - 1e-9)
+                            && cap.is_none_or(|c| rate < c * (1.0 - 1e-9))
+                        {
+                            viol.borrow_mut().push(format!(
+                                "flow {id} at {rate} dominated (max {max_rate}, cap {cap:?})"
+                            ));
+                        }
+                    }
+                }
+            });
+            sim.run();
+            prop_assert_eq!(violations.borrow().clone(), Vec::<String>::new());
+            prop_assert_eq!(link.active_flows(), 0);
+        }
     }
 }

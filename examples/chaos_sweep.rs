@@ -1,8 +1,9 @@
-//! Seed-sweep chaos harness: run the two chaotic scenarios — CRDT
-//! anti-entropy sync and the queue-triggered pipeline — across many seeds
-//! each, checking every invariant (message conservation, ledger
-//! consistency, CRDT convergence, exact delivery) and that each seed
-//! replays byte-identically. Exits nonzero on any violation and prints
+//! Seed-sweep chaos harness: run the chaotic scenarios — CRDT
+//! anti-entropy sync, the queue-triggered pipeline, and the fair-share
+//! link churn storm — across many seeds each, checking every invariant
+//! (message conservation, ledger consistency, CRDT convergence, exact
+//! delivery, full link drain) and that each seed replays
+//! byte-identically. Exits nonzero on any violation and prints
 //! the minimal failing seed so the run can be reproduced in isolation.
 //!
 //! Seeds fan out across every available core via `ParallelSweep`; the
@@ -19,7 +20,7 @@
 
 use std::time::Instant;
 
-use faasim_chaos::{CrdtSync, ParallelSweep, QueuePipeline, Scenario};
+use faasim_chaos::{CrdtSync, LinkChurn, ParallelSweep, QueuePipeline, Scenario};
 
 fn parse_args() -> (usize, bool) {
     let mut seeds = std::env::var("CHAOS_SEEDS")
@@ -58,6 +59,7 @@ fn main() {
     let scenarios: Vec<Box<dyn Scenario + Sync>> = vec![
         Box::new(CrdtSync::chaotic()),
         Box::new(QueuePipeline::chaotic()),
+        Box::new(LinkChurn::default()),
     ];
 
     let mut failed = false;
