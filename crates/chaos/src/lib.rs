@@ -57,6 +57,6 @@ pub use faasim_resilience::{
     Effect, IdempotencyStore, RetryError, RetryPolicy, RetryingBlob, RetryingInvoker, RetryingKv,
     RetryingQueue,
 };
-pub use scenarios::{CrdtSync, LinkChurn, QueuePipeline};
+pub use scenarios::{CrdtSync, LinkChurn, NoisyNeighbor, QueuePipeline};
 pub use sweep::{sweep, RunReport, Scenario, SeedReport, SweepReport};
 pub use trace::TraceReplay;

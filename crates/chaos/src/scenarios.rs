@@ -12,14 +12,16 @@ use bytes::Bytes;
 use faasim::protocols::{Crdt, GCounter};
 use faasim::{Cloud, CloudProfile};
 use faasim_faas::{add_queue_trigger, decode_batch, FunctionSpec};
+use faasim_gateway::{Gateway, GatewayConfig, RetryingGateway, TenantConfig, TenantStats};
 use faasim_kv::{Consistency, KvError};
+use faasim_payload::Payload;
 use faasim_queue::QueueConfig;
 use faasim_simcore::{LatencyModel, SimDuration};
 
 use faasim_resilience::RetryingKv;
 use crate::faults::FaultPlan;
 use crate::invariants::check_cloud;
-use faasim_resilience::RetryPolicy;
+use faasim_resilience::{Deadline, RetryPolicy};
 use crate::sweep::{RunReport, Scenario};
 
 fn base_profile() -> CloudProfile {
@@ -406,6 +408,317 @@ impl Scenario for LinkChurn {
     }
 }
 
+/// The front door's reason to exist, as a two-arm experiment: a victim
+/// tenant sends steady, in-allotment traffic while an aggressor tenant
+/// bursts at `burst_multiplier`× the victim's rate through the same
+/// gateway. The scenario runs both arms from the same seed — aggressor
+/// idle, then aggressor bursting — and demands that
+///
+/// 1. the victim's exact p99 latency in the hostile arm stays within
+///    `p99_bound`× of the quiet arm (plus a small absolute slack for
+///    quantile granularity),
+/// 2. the victim is never shed in either arm,
+/// 3. the aggressor's overload is absorbed at the door: admissions stay
+///    within its token allotment and the overwhelming majority of its
+///    burst is shed, and
+/// 4. per-tenant admission accounting conserves
+///    (`offered == admitted + shed`) in both arms.
+///
+/// Both arms fold into one digest, so the sweep harness's double-run
+/// check also proves the isolation result replays byte-identically.
+#[derive(Clone, Debug)]
+pub struct NoisyNeighbor {
+    name: &'static str,
+    /// The faults both arms run under.
+    pub plan: FaultPlan,
+    /// Aggressor burst rate as a multiple of the victim's rate.
+    pub burst_multiplier: f64,
+    /// Victim request rate (req/s); both tenants' gateway allotment is
+    /// twice this.
+    pub victim_rate: f64,
+    /// Length of the experiment; the aggressor bursts through the middle
+    /// half of it.
+    pub duration: SimDuration,
+    /// Allowed victim p99 inflation factor, hostile vs quiet arm.
+    pub p99_bound: f64,
+    /// Whether the victim must complete every request (true under a calm
+    /// plan; chaos kills can legitimately exhaust retries).
+    pub expect_no_failures: bool,
+}
+
+impl Default for NoisyNeighbor {
+    fn default() -> NoisyNeighbor {
+        NoisyNeighbor {
+            name: "noisy-neighbor/calm",
+            plan: FaultPlan::calm(),
+            burst_multiplier: 50.0,
+            victim_rate: 10.0,
+            duration: SimDuration::from_secs(60),
+            p99_bound: 1.5,
+            expect_no_failures: true,
+        }
+    }
+}
+
+impl NoisyNeighbor {
+    /// The hostile arm: the same 50× burst under the all-tier hostile
+    /// fault plan. Chaos draws are shared across tenants, so the bound
+    /// is looser — kills and delay spikes land on different victim
+    /// requests in the two arms.
+    pub fn chaotic() -> NoisyNeighbor {
+        NoisyNeighbor {
+            name: "noisy-neighbor/hostile",
+            plan: FaultPlan::hostile(),
+            p99_bound: 3.0,
+            expect_no_failures: false,
+            ..NoisyNeighbor::default()
+        }
+    }
+}
+
+/// Victim tenant id in the [`NoisyNeighbor`] gateway.
+const VICTIM: u32 = 0;
+/// Aggressor tenant id.
+const AGGRESSOR: u32 = 1;
+
+struct NeighborArm {
+    p99: f64,
+    victim: TenantStats,
+    aggressor: TenantStats,
+    victim_failed: u64,
+    digest: String,
+    bill: String,
+    violations: Vec<String>,
+}
+
+impl NoisyNeighbor {
+    /// Per-tenant token allotment (req/s): headroom over the victim's
+    /// offered rate, far under the aggressor's burst.
+    fn allotment(&self) -> f64 {
+        self.victim_rate * 2.0
+    }
+
+    fn arm(&self, seed: u64, aggressor_on: bool) -> NeighborArm {
+        let cloud = Cloud::new(base_profile(), seed);
+        self.plan.apply(&cloud);
+        let sim = cloud.sim.clone();
+
+        cloud.faas.register(FunctionSpec::new(
+            "work",
+            256,
+            SimDuration::from_secs(5),
+            |ctx, _payload| async move {
+                ctx.cpu(SimDuration::from_millis(20)).await;
+                Ok(Bytes::new())
+            },
+        ));
+
+        let allot = self.allotment();
+        let gw = Gateway::new(
+            &sim,
+            &cloud.faas,
+            cloud.ledger.clone(),
+            cloud.recorder.clone(),
+            &cloud.prices,
+            GatewayConfig::new(vec![
+                TenantConfig {
+                    rate: allot,
+                    burst: allot * 2.0,
+                    // Generous: the cold-start era alone holds
+                    // rate × ~5 s in flight; concurrency is not the
+                    // isolation mechanism under test here.
+                    max_concurrent: 256,
+                    priority: 3,
+                },
+                TenantConfig {
+                    rate: allot,
+                    burst: allot * 2.0,
+                    max_concurrent: 32,
+                    priority: 0,
+                },
+            ]),
+        );
+        let victim_client = RetryingGateway::new(
+            &sim,
+            &gw,
+            cloud.recorder.clone(),
+            RetryPolicy::default(),
+            "chaos.noisy.victim",
+        );
+
+        // Victim: a fixed count of in-allotment Poisson arrivals, so both
+        // arms offer the identical request stream (its own RNG stream).
+        // Only requests arriving inside the aggressor's window count
+        // toward the p99 — by then the victim's containers are warm, so
+        // the quantile measures steady-state service, not the shared
+        // cold-start era both arms pay identically.
+        let victim_n = (self.victim_rate * self.duration.as_secs_f64()).round() as u64;
+        let window_start = SimDuration::from_secs_f64(self.duration.as_secs_f64() * 0.25);
+        let window = SimDuration::from_secs_f64(self.duration.as_secs_f64() * 0.5);
+        let latencies: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(Vec::new()));
+        let failed = Rc::new(RefCell::new(0u64));
+        {
+            let sim2 = sim.clone();
+            let mean = 1.0 / self.victim_rate;
+            let (latencies, failed) = (latencies.clone(), failed.clone());
+            let (w0, w1) = (
+                faasim_simcore::SimTime::ZERO + window_start,
+                faasim_simcore::SimTime::ZERO + window_start + window,
+            );
+            sim.spawn(async move {
+                let mut rng = sim2.rng("chaos.noisy.victim");
+                for _ in 0..victim_n {
+                    sim2.sleep(SimDuration::from_secs_f64(rng.exponential(mean)))
+                        .await;
+                    let client = victim_client.clone();
+                    let s = sim2.clone();
+                    let (latencies, failed) = (latencies.clone(), failed.clone());
+                    sim2.spawn(async move {
+                        let t0 = s.now();
+                        let ok = client
+                            .invoke(VICTIM, "work", &Payload::zeros(512), Deadline::unbounded())
+                            .await
+                            .is_ok();
+                        if !ok {
+                            *failed.borrow_mut() += 1;
+                        }
+                        if t0 >= w0 && t0 < w1 {
+                            latencies
+                                .borrow_mut()
+                                .push(s.now().duration_since(t0).as_secs_f64());
+                        }
+                    });
+                }
+            });
+        }
+
+        // Aggressor: bursts at `burst_multiplier`× the victim's rate
+        // through the middle half of the run, single-shot (a client that
+        // hammers without backoff — the tenant the door exists for).
+        if aggressor_on {
+            let sim2 = sim.clone();
+            let gw2 = gw.clone();
+            let mean = 1.0 / (self.victim_rate * self.burst_multiplier);
+            sim.spawn(async move {
+                sim2.sleep(window_start).await;
+                let mut rng = sim2.rng("chaos.noisy.aggressor");
+                let end = sim2.now() + window;
+                while sim2.now() < end {
+                    sim2.sleep(SimDuration::from_secs_f64(rng.exponential(mean)))
+                        .await;
+                    let gw3 = gw2.clone();
+                    sim2.spawn(async move {
+                        let _ = gw3.invoke(AGGRESSOR, "work", Payload::zeros(512)).await;
+                    });
+                }
+            });
+        }
+
+        sim.run();
+
+        let mut lats = latencies.borrow().clone();
+        lats.sort_by(f64::total_cmp);
+        let p99 = if lats.is_empty() {
+            0.0
+        } else {
+            lats[((lats.len() - 1) as f64 * 0.99).round() as usize]
+        };
+        let victim_failed = *failed.borrow();
+        NeighborArm {
+            p99,
+            victim: gw.tenant_stats(VICTIM),
+            aggressor: gw.tenant_stats(AGGRESSOR),
+            victim_failed,
+            digest: cloud.recorder.digest(),
+            bill: cloud.ledger.report(),
+            violations: check_cloud(&cloud),
+        }
+    }
+}
+
+impl Scenario for NoisyNeighbor {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn run(&self, seed: u64) -> RunReport {
+        let quiet = self.arm(seed, false);
+        let hostile = self.arm(seed, true);
+        let mut violations = quiet.violations.clone();
+        violations.extend(hostile.violations.iter().cloned());
+
+        for (arm, label) in [(&quiet, "quiet"), (&hostile, "hostile")] {
+            for (st, tenant) in [(&arm.victim, "victim"), (&arm.aggressor, "aggressor")] {
+                if !st.conserved() {
+                    violations.push(format!(
+                        "{label} arm: {tenant} admission accounting broken: {st:?}"
+                    ));
+                }
+            }
+            if arm.victim.shed() > 0 {
+                violations.push(format!(
+                    "{label} arm: victim was shed {} times despite staying in allotment",
+                    arm.victim.shed()
+                ));
+            }
+        }
+        if quiet.aggressor.offered != 0 {
+            violations.push(format!(
+                "quiet arm: aggressor offered {} requests, expected 0",
+                quiet.aggressor.offered
+            ));
+        }
+
+        // The door must clamp the aggressor to its token allotment...
+        let window_secs = self.duration.as_secs_f64() * 0.5;
+        let admit_cap = (self.allotment() * window_secs + self.allotment() * 2.0 + 16.0) as u64;
+        if hostile.aggressor.admitted > admit_cap {
+            violations.push(format!(
+                "hostile arm: aggressor admitted {} > cap {}",
+                hostile.aggressor.admitted, admit_cap
+            ));
+        }
+        // ...shedding the overwhelming majority of a 50× burst.
+        if hostile.aggressor.shed() < 5 * hostile.aggressor.admitted {
+            violations.push(format!(
+                "hostile arm: aggressor shed {} vs {} admitted — the burst was not absorbed",
+                hostile.aggressor.shed(),
+                hostile.aggressor.admitted
+            ));
+        }
+
+        // The isolation claim itself: the burst must not move the
+        // victim's p99 beyond the documented bound (absolute slack
+        // covers quantile granularity at small victim counts).
+        if hostile.p99 > quiet.p99 * self.p99_bound + 0.005 {
+            violations.push(format!(
+                "victim p99 moved {:.1} ms -> {:.1} ms under a {}x burst (bound {}x)",
+                quiet.p99 * 1e3,
+                hostile.p99 * 1e3,
+                self.burst_multiplier,
+                self.p99_bound
+            ));
+        }
+        if self.expect_no_failures && quiet.victim_failed + hostile.victim_failed > 0 {
+            violations.push(format!(
+                "victim failed {} quiet / {} hostile requests under a calm plan",
+                quiet.victim_failed, hostile.victim_failed
+            ));
+        }
+
+        RunReport {
+            // Both arms and the measured quantiles fold into the digest,
+            // so the sweep's double-run check covers the whole result.
+            digest: format!(
+                "quiet {}\nhostile {}\nvictim p99 quiet {:.9} hostile {:.9}",
+                quiet.digest, hostile.digest, quiet.p99, hostile.p99
+            ),
+            bill: format!("quiet arm\n{}\nhostile arm\n{}", quiet.bill, hostile.bill),
+            violations,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -438,5 +751,27 @@ mod tests {
             "expected duplicate deliveries in\n{}",
             report.digest
         );
+    }
+
+    #[test]
+    fn noisy_neighbor_holds_the_isolation_bound() {
+        for seed in [1, 2, 3, 4] {
+            let report = NoisyNeighbor::default().run(seed);
+            assert_eq!(report.violations, Vec::<String>::new(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn noisy_neighbor_survives_the_hostile_plan() {
+        let report = NoisyNeighbor::chaotic().run(1);
+        assert_eq!(report.violations, Vec::<String>::new());
+    }
+
+    #[test]
+    fn noisy_neighbor_replays_byte_identically() {
+        let sc = NoisyNeighbor::default();
+        let a = sc.run(7);
+        let b = sc.run(7);
+        assert_eq!(a, b, "noisy-neighbor diverged on replay");
     }
 }

@@ -116,6 +116,18 @@ impl Scenario for TraceReplay {
                 r.cold_starts, r.attempts
             ));
         }
+        if r.gw_offered != r.gw_admitted + r.gw_rate_shed + r.gw_load_shed + r.gw_breaker_rejected {
+            violations.push(format!(
+                "gateway admission accounting broken: {} offered != {} admitted + {} rate + {} load + {} breaker",
+                r.gw_offered, r.gw_admitted, r.gw_rate_shed, r.gw_load_shed, r.gw_breaker_rejected
+            ));
+        }
+        if r.gw_shed_requests > r.failed {
+            violations.push(format!(
+                "{} requests shed for good but only {} failed",
+                r.gw_shed_requests, r.failed
+            ));
+        }
         if self.expect_no_failures && r.failed > 0 {
             violations.push(format!("{} requests failed under a calm plan", r.failed));
         }

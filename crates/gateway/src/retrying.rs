@@ -1,0 +1,218 @@
+//! A retrying client for the gateway, mirroring
+//! [`faasim_resilience::RetryingInvoker`]: typed sheds are backed off
+//! on, and when the shed names the instant capacity returns (a token
+//! refill, a breaker cooldown) the retry never fires earlier than that.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use faasim_faas::InvokeOutcome;
+use faasim_payload::Payload;
+use faasim_resilience::{Deadline, RetryError, RetryPolicy};
+use faasim_simcore::{Recorder, Sim, SimRng};
+
+use crate::gateway::{Gateway, GatewayError};
+
+/// A [`Gateway`] client that retries transient refusals (rate limits,
+/// load sheds, open breakers) and transient platform failures with
+/// backoff, inside a deadline budget. Cheap to clone; clones share the
+/// jitter RNG stream.
+#[derive(Clone)]
+pub struct RetryingGateway {
+    gateway: Gateway,
+    sim: Sim,
+    policy: RetryPolicy,
+    rng: Rc<RefCell<SimRng>>,
+    recorder: Recorder,
+}
+
+impl RetryingGateway {
+    /// Wrap `gateway`; `label` names the jitter RNG stream.
+    pub fn new(
+        sim: &Sim,
+        gateway: &Gateway,
+        recorder: Recorder,
+        policy: RetryPolicy,
+        label: &str,
+    ) -> RetryingGateway {
+        RetryingGateway {
+            gateway: gateway.clone(),
+            sim: sim.clone(),
+            policy,
+            rng: Rc::new(RefCell::new(sim.rng(label))),
+            recorder,
+        }
+    }
+
+    /// Invoke `func` for `tenant` through the gateway until it
+    /// succeeds, exhausts the policy, or runs out of deadline budget.
+    pub async fn invoke(
+        &self,
+        tenant: u32,
+        func: &str,
+        payload: &Payload,
+        deadline: Deadline,
+    ) -> Result<InvokeOutcome, RetryError<GatewayError>> {
+        let attempts = self.policy.max_attempts.max(1);
+        let mut last: Option<RetryError<GatewayError>> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                let mut d = self.policy.delay(attempt - 1, &mut self.rng.borrow_mut());
+                // A typed shed can name when capacity returns; retrying
+                // earlier than that is guaranteed wasted work.
+                if let Some(RetryError::Exhausted { last: e, .. }) = &last {
+                    if let Some(at) = e.retry_after() {
+                        d = d.max(at.duration_since(self.sim.now()));
+                    }
+                }
+                if deadline.remaining(&self.sim) <= d {
+                    return Err(RetryError::DeadlineExceeded { attempts: attempt });
+                }
+                self.sim.sleep(d).await;
+            }
+            if deadline.is_expired(&self.sim) {
+                return Err(RetryError::DeadlineExceeded { attempts: attempt });
+            }
+            self.recorder.incr("resil.gateway.attempts");
+            match self.gateway.invoke(tenant, func, payload.clone()).await {
+                Ok(out) => match &out.result {
+                    Ok(_) => return Ok(out),
+                    Err(e) if e.is_transient() => {
+                        last = Some(RetryError::Exhausted {
+                            attempts: attempt + 1,
+                            last: GatewayError::Function(e.clone()),
+                        });
+                    }
+                    Err(e) => return Err(RetryError::Fatal(GatewayError::Function(e.clone()))),
+                },
+                Err(e) if e.is_transient() => {
+                    last = Some(RetryError::Exhausted {
+                        attempts: attempt + 1,
+                        last: e,
+                    });
+                }
+                Err(e) => return Err(RetryError::Fatal(e)),
+            }
+        }
+        Err(last.expect("max_attempts >= 1 guarantees one attempt"))
+    }
+
+    /// The wrapped gateway, for probes and non-retried calls.
+    pub fn inner(&self) -> &Gateway {
+        &self.gateway
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gateway::{GatewayConfig, TenantConfig};
+    use faasim::{Cloud, CloudProfile};
+    use faasim_faas::FunctionSpec;
+    use faasim_simcore::SimDuration;
+
+    #[test]
+    fn backs_off_past_the_token_refill_and_succeeds() {
+        let cloud = Cloud::new(CloudProfile::aws_2018().exact(), 21);
+        cloud.faas.register(FunctionSpec::new(
+            "work",
+            256,
+            SimDuration::from_secs(30),
+            |ctx, _payload| async move {
+                ctx.cpu(SimDuration::from_millis(5)).await;
+                Ok(Payload::inline("ok"))
+            },
+        ));
+        // A refill slow enough (20 s/token) that no amount of cold-start
+        // latency on the first call can hide the shed of the second.
+        let mut cfg = GatewayConfig::new(vec![TenantConfig {
+            rate: 0.05,
+            burst: 1.0,
+            ..TenantConfig::default()
+        }]);
+        cfg.overhead = SimDuration::ZERO;
+        let gw = Gateway::new(
+            &cloud.sim,
+            &cloud.faas,
+            cloud.ledger.clone(),
+            cloud.recorder.clone(),
+            &cloud.prices,
+            cfg,
+        );
+        let client = RetryingGateway::new(
+            &cloud.sim,
+            &gw,
+            cloud.recorder.clone(),
+            RetryPolicy::default(),
+            "gw.retry.test",
+        );
+        let payload = Payload::inline("x");
+        cloud.sim.block_on(async move {
+            // Burst of 1: the first call drains the bucket, the second
+            // must be shed and then retried no earlier than the refill.
+            client.invoke(0, "work", &payload, Deadline::unbounded()).await.expect("first");
+            client.invoke(0, "work", &payload, Deadline::unbounded()).await.expect("second");
+        });
+        let st = gw.tenant_stats(0);
+        assert_eq!(st.admitted, 2);
+        assert!(st.bucket_shed >= 1, "the second call was shed at least once");
+        assert!(st.conserved());
+        // At 0.05 tokens/s a full refill takes 20 s: the retry that
+        // succeeded cannot have fired before then.
+        assert!(cloud.sim.now() >= faasim_simcore::SimTime::from_nanos(20_000_000_000));
+        assert!(cloud.recorder.counter("resil.gateway.attempts") >= 3);
+    }
+
+    #[test]
+    fn exhaustion_reports_the_last_shed() {
+        let cloud = Cloud::new(CloudProfile::aws_2018().exact(), 22);
+        cloud.faas.register(FunctionSpec::new(
+            "work",
+            256,
+            SimDuration::from_secs(30),
+            |_ctx, _payload| async move { Ok(Payload::inline("ok")) },
+        ));
+        // Zero rate, burst 1: after the first admission the tenant is
+        // rate limited forever.
+        let mut cfg = GatewayConfig::new(vec![TenantConfig {
+            rate: 0.0,
+            burst: 1.0,
+            ..TenantConfig::default()
+        }]);
+        cfg.overhead = SimDuration::ZERO;
+        let gw = Gateway::new(
+            &cloud.sim,
+            &cloud.faas,
+            cloud.ledger.clone(),
+            cloud.recorder.clone(),
+            &cloud.prices,
+            cfg,
+        );
+        let client = RetryingGateway::new(
+            &cloud.sim,
+            &gw,
+            cloud.recorder.clone(),
+            RetryPolicy { max_attempts: 3, ..RetryPolicy::default() },
+            "gw.retry.test",
+        );
+        let payload = Payload::inline("x");
+        let sim = cloud.sim.clone();
+        let got = cloud.sim.block_on(async move {
+            client.invoke(0, "work", &payload, Deadline::unbounded()).await.expect("first");
+            // retry_after is SimTime::MAX, so the deadline budget (not
+            // the backoff spine) must end the loop.
+            client
+                .invoke(
+                    0,
+                    "work",
+                    &payload,
+                    Deadline::within(&sim, SimDuration::from_secs(60)),
+                )
+                .await
+        });
+        assert!(
+            matches!(got, Err(ref e) if e.is_deadline()),
+            "a never-refilling bucket must exhaust the deadline budget, got {got:?}"
+        );
+    }
+}

@@ -40,6 +40,11 @@ pub struct PriceBook {
     pub ebs_per_gb_month: f64,
     /// Per TB scanned by the autoscaling query service (Athena: $5/TB).
     pub query_per_tb_scanned: f64,
+    /// Per request traversing the front-door gateway (API Gateway:
+    /// $3.50 per million). Charged on *offered* requests — shed traffic
+    /// still bills, which is exactly the overload economics the gateway
+    /// experiments measure.
+    pub gateway_per_request: f64,
 }
 
 impl PriceBook {
@@ -75,6 +80,7 @@ impl PriceBook {
             ec2_hourly,
             ebs_per_gb_month: 0.10,
             query_per_tb_scanned: 5.0,
+            gateway_per_request: 3.50 / 1e6,
         }
     }
 

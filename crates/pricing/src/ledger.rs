@@ -21,6 +21,8 @@ pub enum Service {
     Compute,
     /// The autoscaling query service (Athena-like).
     Query,
+    /// The front-door gateway (API Gateway-like).
+    Gateway,
     /// Anything else.
     Other,
 }
@@ -34,6 +36,7 @@ impl fmt::Display for Service {
             Service::Queue => "queue",
             Service::Compute => "compute",
             Service::Query => "query",
+            Service::Gateway => "gateway",
             Service::Other => "other",
         };
         f.write_str(s)

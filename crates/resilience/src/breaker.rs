@@ -229,6 +229,21 @@ impl CircuitBreaker {
         }
     }
 
+    /// Low-level admission check, for composing the breaker into a
+    /// larger admission pipeline (e.g. a gateway front door) where the
+    /// guarded section is not a single future. Pair every `Ok(())` with
+    /// exactly one later [`observe`](CircuitBreaker::observe) call so
+    /// the state machine sees the outcome.
+    pub fn try_admit<E>(&self) -> Result<(), BreakerError<E>> {
+        self.admit()
+    }
+
+    /// Feed the outcome of a call admitted via
+    /// [`try_admit`](CircuitBreaker::try_admit).
+    pub fn observe(&self, ok: bool) {
+        self.record(ok);
+    }
+
     /// Run `op` through the breaker. Sheds with [`BreakerError::Open`]
     /// when open; otherwise attempts the call, feeding its outcome into
     /// the state machine. `counts_as_failure` classifies errors — a

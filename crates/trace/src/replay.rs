@@ -17,12 +17,15 @@ use std::fmt;
 use std::rc::Rc;
 
 use faasim::{Cloud, CloudProfile};
+use faasim_gateway::{Gateway, GatewayConfig, GatewayError, RetryingGateway, TenantConfig};
 use faasim_payload::Payload;
-use faasim_resilience::{Deadline, RetryPolicy, RetryingInvoker};
+use faasim_resilience::{BreakerConfig, Deadline, RetryError, RetryPolicy, RetryingInvoker};
 use faasim_simcore::{Semaphore, SimDuration, SimTime};
 
 use crate::sketch::QuantileSketch;
-use crate::workload::{function_name, function_profile, TraceConfig, TraceGenerator};
+use crate::workload::{
+    function_name, function_profile, tenant_rates, TraceConfig, TraceGenerator,
+};
 
 /// Replay knobs on top of the trace itself.
 #[derive(Clone, Debug)]
@@ -43,6 +46,85 @@ pub struct ReplayConfig {
     /// Also materialize every latency sample (test-only; defeats the
     /// bounded-memory property for large traces).
     pub collect_latencies: bool,
+    /// Route every invocation through the multi-tenant gateway tier,
+    /// sized by this recipe; `None` invokes the platform directly.
+    pub gateway: Option<GatewaySpec>,
+}
+
+/// How to size the gateway for a trace. The per-tenant limits are
+/// derived at replay time from the trace's own expected tenant rates
+/// (which depend on the seed via the tenant assignment), so one spec
+/// serves every seed of a sweep.
+#[derive(Clone, Debug)]
+pub struct GatewaySpec {
+    /// Per-tenant token rate = `rate_margin` × the tenant's expected
+    /// mean arrival rate. Must exceed the bursty ON-phase boost (up to
+    /// `(burst_on + burst_off) / burst_on`, 4–6× in the stock configs)
+    /// or calm traffic would be shed.
+    pub rate_margin: f64,
+    /// Bucket capacity in seconds of margined rate.
+    pub burst_secs: f64,
+    /// Per-tenant concurrency cap in seconds of margined rate…
+    pub conc_secs: f64,
+    /// …plus this floor (absorbs cold-start latency spikes of cold
+    /// tenants).
+    pub conc_floor: usize,
+    /// Load-shed watermarks per priority tier, as fractions of the
+    /// replay's `max_in_flight`.
+    pub watermarks: [f64; faasim_gateway::TIERS],
+    /// Per-tenant breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Constant per-request gateway overhead.
+    pub overhead: SimDuration,
+}
+
+impl Default for GatewaySpec {
+    fn default() -> GatewaySpec {
+        GatewaySpec {
+            rate_margin: 8.0,
+            burst_secs: 20.0,
+            conc_secs: 15.0,
+            conc_floor: 64,
+            // Replay-oriented: shed only near saturation, and never the
+            // top tier before the hard cap.
+            watermarks: [0.85, 0.90, 0.95, 1.0],
+            breaker: BreakerConfig::default(),
+            overhead: SimDuration::from_millis(1),
+        }
+    }
+}
+
+/// Priority tier for a tenant in replay: round-robin from the hottest
+/// tenant down, so every tier is populated and tenant 0 (the heaviest)
+/// is shed last.
+pub fn tenant_priority(tenant: u32) -> u8 {
+    (faasim_gateway::TIERS as u32 - 1 - tenant % faasim_gateway::TIERS as u32) as u8
+}
+
+impl GatewaySpec {
+    /// Size a [`GatewayConfig`] for `trace` at `seed`.
+    pub fn resolve(&self, trace: &TraceConfig, max_in_flight: usize, seed: u64) -> GatewayConfig {
+        let tenants = tenant_rates(trace, seed)
+            .into_iter()
+            .enumerate()
+            .map(|(t, expected)| {
+                let rate = (expected * self.rate_margin).max(1.0);
+                TenantConfig {
+                    rate,
+                    burst: (rate * self.burst_secs).max(16.0),
+                    max_concurrent: (rate * self.conc_secs).ceil() as usize + self.conc_floor,
+                    priority: tenant_priority(t as u32),
+                }
+            })
+            .collect();
+        GatewayConfig {
+            tenants,
+            max_in_flight,
+            shed_watermarks: self.watermarks,
+            breaker: self.breaker.clone(),
+            overhead: self.overhead,
+        }
+    }
 }
 
 impl ReplayConfig {
@@ -56,6 +138,7 @@ impl ReplayConfig {
             max_in_flight: 4096,
             sketch_alpha: 0.01,
             collect_latencies: false,
+            gateway: Some(GatewaySpec::default()),
         }
     }
 
@@ -135,6 +218,31 @@ pub struct ReplayReport {
     pub chaos_kills: u64,
     /// Chaos: warm containers evicted by storms.
     pub chaos_evicted: u64,
+    /// Distinct tenants that completed at least one request (0 when the
+    /// gateway is disabled — tenancy is only observed at the front door).
+    pub tenants_seen: u32,
+    /// p95 / p50 of per-tenant mean latencies (1.0 = perfectly even;
+    /// 0 when the gateway is disabled).
+    pub tenant_fairness_spread: f64,
+    /// Worst per-tenant p99 latency in seconds.
+    pub tenant_p99_max: f64,
+    /// Median per-tenant p99 latency in seconds.
+    pub tenant_p99_median: f64,
+    /// Gateway: requests offered at the front door.
+    pub gw_offered: u64,
+    /// Gateway: requests admitted to the platform.
+    pub gw_admitted: u64,
+    /// Gateway: attempts shed by per-tenant rate/concurrency limits.
+    pub gw_rate_shed: u64,
+    /// Gateway: attempts shed by the priority load shedder.
+    pub gw_load_shed: u64,
+    /// Gateway: attempts rejected by open per-tenant breakers.
+    pub gw_breaker_rejected: u64,
+    /// Requests whose *final* outcome (after retries) was a gateway
+    /// shed — a subset of `failed`.
+    pub gw_shed_requests: u64,
+    /// Gateway: peak concurrent admitted requests.
+    pub gw_peak_in_flight: u64,
 }
 
 impl fmt::Display for ReplayReport {
@@ -181,6 +289,27 @@ impl fmt::Display for ReplayReport {
             "  network     {} NIC transfers, fan-in peak {} / mean {:.1}, min fair share {:.1} Mbit/s",
             self.nic_transfers, self.nic_peak_fan_in, self.nic_mean_fan_in, self.nic_min_share_mbps
         )?;
+        if self.gw_offered > 0 {
+            writeln!(
+                f,
+                "  tenants     {} seen · p99 worst {:.1} ms / median {:.1} ms · mean-latency spread {:.2}",
+                self.tenants_seen,
+                self.tenant_p99_max * 1e3,
+                self.tenant_p99_median * 1e3,
+                self.tenant_fairness_spread,
+            )?;
+            writeln!(
+                f,
+                "  gateway     {} offered = {} admitted + {} rate + {} load + {} breaker shed · {} requests shed for good · peak {} in flight",
+                self.gw_offered,
+                self.gw_admitted,
+                self.gw_rate_shed,
+                self.gw_load_shed,
+                self.gw_breaker_rejected,
+                self.gw_shed_requests,
+                self.gw_peak_in_flight,
+            )?;
+        }
         if self.chaos_kills > 0 || self.chaos_evicted > 0 {
             writeln!(
                 f,
@@ -216,15 +345,42 @@ struct AppAgg {
     lat_sum: f64,
 }
 
+struct TenantAgg {
+    sketch: QuantileSketch,
+    completed: u64,
+    lat_sum: f64,
+}
+
 struct Stats {
     sketch: QuantileSketch,
     per_app: Vec<AppAgg>,
+    per_tenant: Vec<TenantAgg>,
     seen_funcs: Vec<bool>,
     succeeded: u64,
     failed: u64,
+    gw_shed: u64,
     completed: u64,
     last_done: SimTime,
     latencies: Vec<f64>,
+}
+
+/// How the replay reaches the platform: directly, through client
+/// retries, or through the gateway tier (with or without retries).
+#[derive(Clone)]
+enum Client {
+    Direct(faasim_faas::FaasPlatform),
+    Retry(RetryingInvoker),
+    Gw(Gateway),
+    GwRetry(RetryingGateway),
+}
+
+/// Whether a final retry-wrapper error was a gateway admission shed (as
+/// opposed to an exhausted run of execution failures).
+fn final_err_was_shed(err: &RetryError<GatewayError>) -> bool {
+    match err {
+        RetryError::Exhausted { last, .. } | RetryError::Fatal(last) => last.is_shed(),
+        _ => false,
+    }
 }
 
 /// Run `cfg` at `seed`, applying `chaos` to the freshly built cloud
@@ -291,16 +447,50 @@ pub fn replay_with(
                 lat_sum: 0.0,
             })
             .collect(),
+        per_tenant: (0..cfg.trace.tenants.max(1))
+            .map(|_| TenantAgg {
+                sketch: QuantileSketch::new(cfg.sketch_alpha),
+                completed: 0,
+                lat_sum: 0.0,
+            })
+            .collect(),
         seen_funcs: vec![false; (cfg.trace.apps * funcs_per_app) as usize],
         succeeded: 0,
         failed: 0,
+        gw_shed: 0,
         completed: 0,
         last_done: SimTime::ZERO,
         latencies: Vec::new(),
     }));
-    let invoker = cfg.retry.clone().map(|policy| {
-        RetryingInvoker::new(&sim, &faas, cloud.recorder.clone(), policy, "trace.invoker")
+    // Build the front door (when configured) and pick the client stack.
+    let gateway = cfg.gateway.as_ref().map(|spec| {
+        Gateway::new(
+            &sim,
+            &faas,
+            cloud.ledger.clone(),
+            cloud.recorder.clone(),
+            &cloud.prices,
+            spec.resolve(&cfg.trace, cfg.max_in_flight.max(1), seed),
+        )
     });
+    let client = match (&gateway, cfg.retry.clone()) {
+        (Some(gw), Some(policy)) => Client::GwRetry(RetryingGateway::new(
+            &sim,
+            gw,
+            cloud.recorder.clone(),
+            policy,
+            "trace.invoker",
+        )),
+        (Some(gw), None) => Client::Gw(gw.clone()),
+        (None, Some(policy)) => Client::Retry(RetryingInvoker::new(
+            &sim,
+            &faas,
+            cloud.recorder.clone(),
+            policy,
+            "trace.invoker",
+        )),
+        (None, None) => Client::Direct(faas.clone()),
+    };
     let inflight = Semaphore::new(cfg.max_in_flight.max(1));
     // Set once the driver has spawned its last request; `done` flips when
     // every spawned request has completed, which stops the reaper.
@@ -324,7 +514,6 @@ pub fn replay_with(
     {
         let gen = TraceGenerator::new(cfg.trace.clone(), seed);
         let sim2 = sim.clone();
-        let faas2 = faas.clone();
         let (stats2, total2, done2, generated2) = (
             stats.clone(),
             total.clone(),
@@ -332,7 +521,7 @@ pub fn replay_with(
             generated.clone(),
         );
         let inflight2 = inflight.clone();
-        let invoker2 = invoker.clone();
+        let client2 = client.clone();
         let collect = cfg.collect_latencies;
         // One shared zero block keeps symbolic payloads allocation-free.
         let zero_block = Payload::zeros(256).bytes();
@@ -343,8 +532,7 @@ pub fn replay_with(
                 let permit = inflight2.acquire(1).await;
                 spawned += 1;
                 let sim3 = sim2.clone();
-                let faas3 = faas2.clone();
-                let invoker3 = invoker2.clone();
+                let client3 = client2.clone();
                 let (stats3, total3, done3) = (stats2.clone(), total2.clone(), done2.clone());
                 let payload = Payload::synthetic(
                     zero_block.clone(),
@@ -353,12 +541,32 @@ pub fn replay_with(
                 sim2.spawn(async move {
                     let t0 = sim3.now();
                     let name = function_name(ev.app, ev.func);
-                    let ok = match &invoker3 {
-                        Some(inv) => inv
-                            .invoke(&name, &payload, Deadline::unbounded())
-                            .await
-                            .is_ok(),
-                        None => faas3.invoke(&name, payload).await.result.is_ok(),
+                    // `ok` is the request's final outcome; `shed` marks a
+                    // final outcome that was a gateway admission refusal
+                    // (rather than an execution failure).
+                    let (ok, shed) = match &client3 {
+                        Client::Retry(inv) => (
+                            inv.invoke(&name, &payload, Deadline::unbounded())
+                                .await
+                                .is_ok(),
+                            false,
+                        ),
+                        Client::Direct(faas) => {
+                            (faas.invoke(&name, payload).await.result.is_ok(), false)
+                        }
+                        Client::GwRetry(gw) => {
+                            match gw
+                                .invoke(ev.tenant, &name, &payload, Deadline::unbounded())
+                                .await
+                            {
+                                Ok(_) => (true, false),
+                                Err(err) => (false, final_err_was_shed(&err)),
+                            }
+                        }
+                        Client::Gw(gw) => match gw.invoke(ev.tenant, &name, payload).await {
+                            Ok(out) => (out.result.is_ok(), false),
+                            Err(err) => (false, err.is_shed()),
+                        },
                     };
                     let latency = sim3.now().duration_since(t0).as_secs_f64();
                     {
@@ -367,6 +575,10 @@ pub fn replay_with(
                         if collect {
                             st.latencies.push(latency);
                         }
+                        let tagg = &mut st.per_tenant[ev.tenant as usize];
+                        tagg.sketch.insert(latency);
+                        tagg.completed += 1;
+                        tagg.lat_sum += latency;
                         let agg = &mut st.per_app[ev.app as usize];
                         agg.completed += 1;
                         agg.lat_sum += latency;
@@ -375,6 +587,9 @@ pub fn replay_with(
                             st.succeeded += 1;
                         } else {
                             st.failed += 1;
+                            if shed {
+                                st.gw_shed += 1;
+                            }
                         }
                         st.completed += 1;
                         st.last_done = sim3.now();
@@ -423,6 +638,26 @@ pub fn replay_with(
     };
     let (p50_app, p95_app) = (rank(0.50), rank(0.95));
 
+    // Tenant-level fairness: same rank statistics over per-tenant means
+    // and p99s (only meaningful when traffic flowed through the gateway).
+    let mut tenant_means: Vec<f64> = Vec::new();
+    let mut tenant_p99s: Vec<f64> = Vec::new();
+    for agg in st.per_tenant.iter().filter(|a| a.completed > 0) {
+        tenant_means.push(agg.lat_sum / agg.completed as f64);
+        tenant_p99s.push(agg.sketch.p99());
+    }
+    tenant_means.sort_by(f64::total_cmp);
+    tenant_p99s.sort_by(f64::total_cmp);
+    let trank = |v: &[f64], q: f64| -> f64 {
+        if v.is_empty() {
+            0.0
+        } else {
+            v[((v.len() - 1) as f64 * q).round() as usize]
+        }
+    };
+    let gw_stats = gateway.as_ref().map(|gw| gw.stats());
+    let gw_used = gw_stats.is_some();
+
     let report = ReplayReport {
         seed,
         generated: generated.get(),
@@ -465,6 +700,21 @@ pub fn replay_with(
         throttled_waits: recorder.counter("faas.throttled_waits"),
         chaos_kills: recorder.counter("faas.chaos_kills"),
         chaos_evicted: recorder.counter("faas.chaos_evicted"),
+        tenants_seen: if gw_used { tenant_means.len() as u32 } else { 0 },
+        tenant_fairness_spread: if gw_used && trank(&tenant_means, 0.50) > 0.0 {
+            trank(&tenant_means, 0.95) / trank(&tenant_means, 0.50)
+        } else {
+            0.0
+        },
+        tenant_p99_max: if gw_used { trank(&tenant_p99s, 1.0) } else { 0.0 },
+        tenant_p99_median: if gw_used { trank(&tenant_p99s, 0.50) } else { 0.0 },
+        gw_offered: gw_stats.as_ref().map_or(0, |s| s.totals.offered),
+        gw_admitted: gw_stats.as_ref().map_or(0, |s| s.totals.admitted),
+        gw_rate_shed: gw_stats.as_ref().map_or(0, |s| s.totals.rate_shed()),
+        gw_load_shed: gw_stats.as_ref().map_or(0, |s| s.totals.load_shed),
+        gw_breaker_rejected: gw_stats.as_ref().map_or(0, |s| s.totals.breaker_rejected),
+        gw_shed_requests: st.gw_shed,
+        gw_peak_in_flight: gw_stats.as_ref().map_or(0, |s| s.peak_in_flight),
     };
     ReplayOutcome {
         report,
@@ -487,6 +737,22 @@ mod tests {
         assert_eq!(out.report.invocations, 500);
         assert_eq!(out.report.succeeded + out.report.failed, 500);
         assert_eq!(out.report.failed, 0, "calm replay must not fail");
+        // Default config routes through the gateway: every request was
+        // offered at the front door, admissions conserve, and a calm
+        // trace is never shed for good.
+        assert!(out.report.gw_offered >= 500);
+        assert_eq!(
+            out.report.gw_offered,
+            out.report.gw_admitted
+                + out.report.gw_rate_shed
+                + out.report.gw_load_shed
+                + out.report.gw_breaker_rejected,
+            "gateway conservation"
+        );
+        assert_eq!(out.report.gw_shed_requests, 0);
+        assert!(out.report.tenants_seen >= 1);
+        assert!(out.report.tenant_p99_max >= out.report.tenant_p99_median);
+        assert!(out.report.gw_peak_in_flight >= 1);
         assert!(out.report.cold_starts > 0);
         assert!(out.report.latency_p50 > 0.0);
         assert!(out.report.latency_p99 >= out.report.latency_p50);
@@ -519,5 +785,35 @@ mod tests {
         let a = replay(&cfg, 5, &|_| {});
         let b = replay(&cfg, 6, &|_| {});
         assert_ne!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn gatewayless_replay_still_works() {
+        let mut cfg = ReplayConfig::small();
+        cfg.trace.max_events = 300;
+        cfg.gateway = None;
+        let out = replay(&cfg, 11, &|_| {});
+        assert_eq!(out.report.invocations, 300);
+        assert_eq!(out.report.failed, 0);
+        assert_eq!(out.report.gw_offered, 0);
+        assert_eq!(out.report.tenants_seen, 0);
+    }
+
+    #[test]
+    fn gateway_rides_without_retries_too() {
+        let mut cfg = ReplayConfig::small();
+        cfg.trace.max_events = 300;
+        cfg.retry = None;
+        let out = replay(&cfg, 11, &|_| {});
+        assert_eq!(out.report.invocations, 300);
+        assert_eq!(
+            out.report.gw_offered,
+            out.report.gw_admitted
+                + out.report.gw_rate_shed
+                + out.report.gw_load_shed
+                + out.report.gw_breaker_rejected,
+        );
+        // Single-shot sheds (if any) must be counted as shed requests.
+        assert_eq!(out.report.failed, out.report.gw_shed_requests);
     }
 }

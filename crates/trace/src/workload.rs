@@ -27,6 +27,9 @@ pub struct TraceEvent {
     pub func: u32,
     /// Request payload size in bytes.
     pub payload_bytes: u64,
+    /// Owning tenant (see [`tenant_of`]); always 0 when the config has
+    /// a single tenant.
+    pub tenant: u32,
 }
 
 /// How one app's invocations arrive over time.
@@ -84,6 +87,13 @@ pub struct TraceConfig {
     pub memory_choices_mb: Vec<u64>,
     /// Configured timeout for every generated function.
     pub func_timeout: SimDuration,
+    /// Number of tenants apps are assigned to (Zipf over tenants). With
+    /// `tenants <= 1` no tenant stream is ever consulted, so the event
+    /// stream is byte-identical to a tenantless trace.
+    pub tenants: u32,
+    /// Zipf exponent over tenant popularity (higher ⇒ the hottest
+    /// tenant owns more apps).
+    pub tenant_zipf_s: f64,
 }
 
 impl Default for TraceConfig {
@@ -116,6 +126,8 @@ impl TraceConfig {
             exec_cv: 0.25,
             memory_choices_mb: vec![128, 256, 512, 1024, 1536, 2048, 3008],
             func_timeout: SimDuration::from_secs(60),
+            tenants: 4,
+            tenant_zipf_s: 1.0,
         }
     }
 
@@ -130,6 +142,7 @@ impl TraceConfig {
             diurnal_period: SimDuration::from_hours(1),
             burst_on: SimDuration::from_secs(60),
             burst_off: SimDuration::from_mins(5),
+            tenants: 32,
             ..TraceConfig::small()
         }
     }
@@ -151,6 +164,29 @@ impl TraceConfig {
     pub fn expected_events(&self) -> f64 {
         self.total_rate * self.duration.as_secs_f64()
     }
+}
+
+/// The tenant owning `app` at this seed: a Zipf draw over tenants from
+/// the app's own `trace.tenant.<app>` stream, so tenancy is independent
+/// of arrival generation. With `tenants <= 1` nothing is drawn and the
+/// answer is always tenant 0 — existing streams stay byte-identical.
+pub fn tenant_of(cfg: &TraceConfig, seed: u64, app: u32) -> u32 {
+    if cfg.tenants <= 1 {
+        return 0;
+    }
+    let mut rng = SimRng::stream(seed, &format!("trace.tenant.{app}"));
+    rng.zipf(cfg.tenants as usize, cfg.tenant_zipf_s) as u32
+}
+
+/// Expected mean arrival rate per tenant (invocations/sec): the Zipf
+/// app rates folded by the deterministic tenant assignment. Tenants
+/// that happen to own no apps have rate 0.
+pub fn tenant_rates(cfg: &TraceConfig, seed: u64) -> Vec<f64> {
+    let mut rates = vec![0.0; cfg.tenants.max(1) as usize];
+    for (app, rate) in cfg.app_rates().into_iter().enumerate() {
+        rates[tenant_of(cfg, seed, app as u32) as usize] += rate;
+    }
+    rates
 }
 
 /// Identity and resource profile of one generated function, derived
@@ -194,6 +230,7 @@ pub fn function_profile(cfg: &TraceConfig, seed: u64, app: u32, func: u32) -> Fu
 struct AppState {
     rng: SimRng,
     rate: f64,
+    tenant: u32,
     kind: ArrivalKind,
     /// Bursty phase machine: end of the current phase and whether it's ON.
     phase_end: SimTime,
@@ -283,6 +320,7 @@ impl TraceGenerator {
             let mut st = AppState {
                 rng,
                 rate,
+                tenant: tenant_of(&cfg, seed, id as u32),
                 kind,
                 phase_end: SimTime::ZERO,
                 on: false,
@@ -340,6 +378,7 @@ impl Iterator for TraceGenerator {
             app,
             func,
             payload_bytes,
+            tenant: st.tenant,
         })
     }
 }
@@ -379,6 +418,28 @@ mod tests {
         for pair in rates.windows(2) {
             assert!(pair[0] > pair[1]);
         }
+    }
+
+    #[test]
+    fn tenant_assignment_is_stable_and_head_heavy() {
+        let cfg = TraceConfig::small();
+        for app in 0..cfg.apps {
+            assert_eq!(tenant_of(&cfg, 9, app), tenant_of(&cfg, 9, app));
+            assert!(tenant_of(&cfg, 9, app) < cfg.tenants);
+        }
+        let rates = tenant_rates(&cfg, 9);
+        assert_eq!(rates.len(), cfg.tenants as usize);
+        assert!((rates.iter().sum::<f64>() - cfg.total_rate).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_tenant_draws_nothing_and_owns_everything() {
+        let mut cfg = TraceConfig::small();
+        cfg.tenants = 1;
+        for app in 0..cfg.apps {
+            assert_eq!(tenant_of(&cfg, 3, app), 0);
+        }
+        assert!(TraceGenerator::new(cfg, 3).all(|ev| ev.tenant == 0));
     }
 
     #[test]

@@ -105,6 +105,37 @@ proptest! {
     }
 
     #[test]
+    fn tenancy_never_perturbs_the_event_stream(
+        seed in 0u64..10_000,
+        tenants in 2u32..12,
+    ) {
+        // Tenant assignment draws only from its own named streams: with
+        // the tenant count at 1 the stream must stay byte-identical to
+        // any other tenant count on every non-tenant field, and every
+        // event must land on tenant 0.
+        let mut single = TraceConfig {
+            max_events: 1_500,
+            ..mixed_cfg(25.0, 0.25, 0.25)
+        };
+        single.tenants = 1;
+        let mut multi = single.clone();
+        multi.tenants = tenants;
+        let a: Vec<TraceEvent> = TraceGenerator::new(single, seed).collect();
+        let b: Vec<TraceEvent> = TraceGenerator::new(multi.clone(), seed).collect();
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.tenant, 0, "single-tenant trace must use tenant 0");
+            prop_assert!(y.tenant < tenants);
+            prop_assert_eq!(
+                (x.at, x.app, x.func, x.payload_bytes),
+                (y.at, y.app, y.func, y.payload_bytes),
+                "tenant count changed the event stream"
+            );
+            prop_assert_eq!(y.tenant, faasim_trace::tenant_of(&multi, seed, y.app));
+        }
+    }
+
+    #[test]
     fn same_seed_reproduces_the_stream_byte_for_byte(seed in 0u64..10_000) {
         let cfg = TraceConfig {
             max_events: 2_000,

@@ -1,8 +1,10 @@
 //! Seed-sweep chaos harness: run the chaotic scenarios — CRDT
-//! anti-entropy sync, the queue-triggered pipeline, and the fair-share
-//! link churn storm — across many seeds each, checking every invariant
-//! (message conservation, ledger consistency, CRDT convergence, exact
-//! delivery, full link drain) and that each seed replays
+//! anti-entropy sync, the queue-triggered pipeline, the fair-share
+//! link churn storm, and the gateway's noisy-neighbor isolation
+//! experiment (calm and hostile arms) — across many seeds each,
+//! checking every invariant (message conservation, ledger consistency,
+//! CRDT convergence, exact delivery, full link drain, bounded victim
+//! p99 under a 50× tenant burst) and that each seed replays
 //! byte-identically. Exits nonzero on any violation and prints
 //! the minimal failing seed so the run can be reproduced in isolation.
 //!
@@ -20,7 +22,7 @@
 
 use std::time::Instant;
 
-use faasim_chaos::{CrdtSync, LinkChurn, ParallelSweep, QueuePipeline, Scenario};
+use faasim_chaos::{CrdtSync, LinkChurn, NoisyNeighbor, ParallelSweep, QueuePipeline, Scenario};
 
 fn parse_args() -> (usize, bool) {
     let mut seeds = std::env::var("CHAOS_SEEDS")
@@ -60,6 +62,8 @@ fn main() {
         Box::new(CrdtSync::chaotic()),
         Box::new(QueuePipeline::chaotic()),
         Box::new(LinkChurn::default()),
+        Box::new(NoisyNeighbor::default()),
+        Box::new(NoisyNeighbor::chaotic()),
     ];
 
     let mut failed = false;
