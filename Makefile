@@ -4,7 +4,7 @@
 CARGO ?= cargo
 export CARGO_NET_OFFLINE = true
 
-.PHONY: build test test-all chaos-sweep chaos-experiments trace-replay bench bench-compare clean
+.PHONY: build test test-all chaos-sweep chaos-experiments trace-replay bench bench-compare profile clean
 
 ## Release build of the whole workspace.
 build:
@@ -60,6 +60,15 @@ bench:
 ## shrink the sweep for smoke runs with BENCH_SWEEP_SEEDS=<n>.
 bench-compare:
 	$(CARGO) bench -p faasim-bench --bench bench_compare
+
+## Engine profile: run the replay kernels once and print the executor's
+## SimProfile counters (task polls, timer pushes/fires/cancels, wheel
+## cascades, spawns, peak live tasks) next to invocations/sec, so perf
+## work can attribute wins instead of guessing from wall-clock alone.
+## PROFILE_SCALE=100k (default) | 1m | 1m-smoke.
+PROFILE_SCALE ?= 100k
+profile:
+	PROFILE_SCALE=$(PROFILE_SCALE) $(CARGO) bench -p faasim-bench --bench profile
 
 clean:
 	$(CARGO) clean

@@ -5,8 +5,10 @@
 //! committed `BENCH_baseline.json`: kernel benches on **events/sec**,
 //! experiments on **wall-clock ratio**, and the chaos sweep on
 //! **seeds/sec** (per-seed normalized, so a 4-seed CI smoke gates
-//! against a 64-seed baseline; the parallel arm only when the worker
-//! count matches the baseline's). Any entry more than the tolerance
+//! against a 64-seed baseline; the parallel arm only when the baseline
+//! machine had enough cores for its number to mean anything and the
+//! worker count matches the baseline's). Any entry more than the
+//! tolerance
 //! (default 25%) slower than the baseline fails the gate with a nonzero
 //! exit, so a PR that quietly regresses the simulator's throughput
 //! turns red in CI.
@@ -35,6 +37,10 @@ pub struct BaselineNumbers {
 pub struct SweepNumbers {
     /// Seeds the baseline swept.
     pub seeds: f64,
+    /// Host cores the baseline machine had (0 when the baseline predates
+    /// recording it). A parallel arm measured on fewer than
+    /// [`MIN_PARALLEL_CORES`] cores is contention noise, not a speedup.
+    pub cores: f64,
     /// Worker threads its parallel arm used.
     pub workers: f64,
     /// Host seconds, serial arm.
@@ -130,6 +136,10 @@ pub fn parse_baseline(json: &str) -> Option<BaselineNumbers> {
     numbers.sweep = object_section(json, "sweep").and_then(|obj| {
         Some(SweepNumbers {
             seeds: field_f64(obj, "seeds")?,
+            // Absent in pre-cores baselines: 0 means "unknown", which
+            // (like any count below MIN_PARALLEL_CORES) skips the
+            // parallel-arm gate.
+            cores: field_f64(obj, "cores").unwrap_or(0.0),
             workers: field_f64(obj, "workers")?,
             serial_secs: field_f64(obj, "serial_secs")?,
             parallel_secs: field_f64(obj, "parallel_secs")?,
@@ -146,6 +156,12 @@ const WALL_NOISE_FLOOR_SECS: f64 = 0.010;
 /// handful of smoke seeds finishes in milliseconds, where per-seed
 /// normalization amplifies startup noise instead of measuring a trend.
 const SWEEP_NOISE_FLOOR_SECS: f64 = 0.050;
+
+/// Minimum baseline core count for the parallel-sweep arm to be gated.
+/// A baseline recorded on a 1- or 2-core box shows a ~1.0x (or worse)
+/// parallel "speedup" that is pool overhead and scheduler contention,
+/// not a throughput trend worth holding future runs to.
+const MIN_PARALLEL_CORES: f64 = 4.0;
 
 /// Diff `current` against `baseline` with a relative `tolerance`
 /// (0.25 = fail beyond 25% slower). Returns the human-readable report
@@ -273,8 +289,18 @@ pub fn compare(
             }
             // The parallel arm's fan-out overhead depends on the pool
             // size, which does not normalize away: gate it only when
-            // this machine used the same worker count as the baseline.
-            if (s.workers as f64 - b.workers).abs() < 0.5 {
+            // the baseline machine had enough cores for its parallel
+            // number to mean anything, and this machine used the same
+            // worker count as the baseline.
+            if b.cores < MIN_PARALLEL_CORES {
+                writeln!(
+                    out,
+                    "sweep/parallel: baseline measured on {} core(s) < {} — \
+                     parallel ratio is contention noise, not gated",
+                    b.cores as u64, MIN_PARALLEL_CORES as u64
+                )
+                .unwrap();
+            } else if (s.workers as f64 - b.workers).abs() < 0.5 {
                 let base_psps = b.seeds / b.parallel_secs.max(1e-9);
                 let now_psps = s.parallel_seeds_per_sec();
                 let ratio = now_psps / base_psps.max(1e-9);
@@ -346,6 +372,7 @@ mod tests {
                 name: "kernel/x".into(),
                 wall_secs: 1.0,
                 events: 1_000_000,
+                profile: None,
             }],
             experiments: vec![
                 ExperimentBench {
@@ -428,6 +455,7 @@ mod tests {
         // 16x smaller smoke run still gates clean.
         base.sweep = Some(SweepNumbers {
             seeds: 64.0,
+            cores: 8.0,
             workers: 1.0,
             serial_secs: 16.0,
             parallel_secs: 16.0,
@@ -438,6 +466,7 @@ mod tests {
         // on both arms (workers match).
         base.sweep = Some(SweepNumbers {
             seeds: 64.0,
+            cores: 8.0,
             workers: 1.0,
             serial_secs: 8.0,
             parallel_secs: 8.0,
@@ -456,6 +485,7 @@ mod tests {
         let mut base = parse_baseline(&current.to_json()).unwrap();
         base.sweep = Some(SweepNumbers {
             seeds: 64.0,
+            cores: 8.0,
             workers: 8.0, // baseline machine fanned out 8-wide
             serial_secs: 16.0,
             parallel_secs: 2.0, // 32 seeds/s we could never match 1-wide
@@ -463,6 +493,32 @@ mod tests {
         let (report, regressions) = compare(&base, &current, 0.25);
         assert!(regressions.is_empty(), "{report}");
         assert!(report.contains("not gated"), "{report}");
+    }
+
+    #[test]
+    fn sweep_parallel_arm_skipped_when_baseline_cores_low() {
+        let current = sample_current();
+        let mut base = parse_baseline(&current.to_json()).unwrap();
+        // Baseline's parallel arm was measured on a 1-core box: even an
+        // arbitrarily bad parallel ratio must not gate.
+        base.sweep = Some(SweepNumbers {
+            seeds: 64.0,
+            cores: 1.0,
+            workers: 1.0,
+            serial_secs: 16.0,
+            parallel_secs: 0.5, // 128 seeds/s "speedup" no 1-wide run matches
+        });
+        let (report, regressions) = compare(&base, &current, 0.25);
+        assert!(regressions.is_empty(), "{report}");
+        assert!(
+            report.contains("parallel ratio is contention noise, not gated"),
+            "{report}"
+        );
+        // The serial arm is still gated: half its 4 seeds/s rate fails.
+        base.sweep.as_mut().unwrap().serial_secs = 8.0;
+        let (report, regressions) = compare(&base, &current, 0.25);
+        assert_eq!(regressions.len(), 1, "{report}");
+        assert_eq!(regressions[0].name, "sweep/serial");
     }
 
     #[test]
@@ -474,6 +530,7 @@ mod tests {
         let mut base = parse_baseline(&sample_current().to_json()).unwrap();
         base.sweep = Some(SweepNumbers {
             seeds: 64.0,
+            cores: 8.0,
             workers: 1.0,
             serial_secs: 1.0, // 64 seeds/s; we measure 1000/s anyway
             parallel_secs: 1.0,

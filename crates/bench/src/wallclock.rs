@@ -43,6 +43,10 @@ pub struct KernelBench {
     pub wall_secs: f64,
     /// Events the kernel processed (task polls + timer firings).
     pub events: u64,
+    /// Rendered engine [`SimProfile`](faasim::simcore::SimProfile) for
+    /// benches that surface one (the replay kernels) — deterministic, so
+    /// it doubles as a cross-round identity check.
+    pub profile: Option<String>,
 }
 
 impl KernelBench {
@@ -135,6 +139,19 @@ fn kernel_bench(name: &str, f: impl FnOnce() -> u64) -> KernelBench {
         name: name.to_owned(),
         wall_secs,
         events,
+        profile: None,
+    }
+}
+
+/// Like [`kernel_bench`] for kernels that also report an engine
+/// [`SimProfile`](faasim::simcore::SimProfile) line.
+fn kernel_bench_profiled(name: &str, f: impl FnOnce() -> (u64, String)) -> KernelBench {
+    let (wall_secs, (events, profile)) = time(f);
+    KernelBench {
+        name: name.to_owned(),
+        wall_secs,
+        events,
+        profile: Some(profile),
     }
 }
 
@@ -149,6 +166,11 @@ fn merge_min_wall(acc: &mut Vec<KernelBench>, round: Vec<KernelBench>) {
     for (best, sample) in acc.iter_mut().zip(round) {
         assert_eq!(best.name, sample.name, "bench rounds must line up");
         assert_eq!(best.events, sample.events, "{}: nondeterministic events", best.name);
+        assert_eq!(
+            best.profile, sample.profile,
+            "{}: nondeterministic engine profile",
+            best.name
+        );
         best.wall_secs = best.wall_secs.min(sample.wall_secs);
     }
 }
@@ -168,6 +190,7 @@ pub fn run_kernel_benches() -> Vec<KernelBench> {
     out.push(gateway_admission_bench());
     out.push(trace_replay_bench(false));
     out.push(trace_replay_bench(true));
+    out.push(trace_replay_1m_bench());
     out
 }
 
@@ -227,6 +250,56 @@ fn gateway_admission_bench() -> KernelBench {
     })
 }
 
+/// The 100k-invocation replay kernel config (shared with `make
+/// profile`): 256 apps at 500 req/s for four minutes, with or without
+/// the gateway tier.
+pub fn replay_100k_config(gateway: bool) -> ReplayConfig {
+    let mut cfg = ReplayConfig::small();
+    cfg.trace.apps = 256;
+    cfg.trace.total_rate = 500.0;
+    cfg.trace.duration = SimDuration::from_mins(4);
+    cfg.trace.max_events = 100_000;
+    if !gateway {
+        cfg.gateway = None;
+    }
+    cfg
+}
+
+/// The million-invocation replay kernel config (shared with `make
+/// profile`): the full paper-scale trace — 3000 apps, 12k functions, 32
+/// tenants, gateway tier on — capped at one million arrivals.
+pub fn replay_1m_config() -> ReplayConfig {
+    let mut cfg = ReplayConfig::paper_scale();
+    cfg.trace.max_events = 1_000_000;
+    cfg
+}
+
+/// Assert what a calm (fault-free) replay must satisfy: through the
+/// gateway every failure is an admission shed and admissions conserve;
+/// without it nothing may fail at all. Shared by the replay kernels and
+/// `make profile`.
+pub fn assert_calm_replay(out: &faasim_trace::ReplayOutcome, gateway: bool) {
+    if gateway {
+        // These traces deliberately saturate the in-flight cap, so the
+        // shedder fires: every failure must be a gateway shed (never an
+        // execution error) and admissions must conserve.
+        assert_eq!(
+            out.report.failed, out.report.gw_shed_requests,
+            "calm replay may only fail by shedding"
+        );
+        assert!(out.report.gw_offered >= out.report.invocations);
+        assert_eq!(
+            out.report.gw_offered,
+            out.report.gw_admitted
+                + out.report.gw_rate_shed
+                + out.report.gw_load_shed
+                + out.report.gw_breaker_rejected,
+        );
+    } else {
+        assert_eq!(out.report.failed, 0, "calm replay must not fail");
+    }
+}
+
 /// A 100k-invocation trace replay end to end: generator, platform,
 /// retrying invoker, reaper, sketch, and report — optionally through the
 /// multi-tenant gateway tier, so the pair prices the front door's
@@ -234,39 +307,34 @@ fn gateway_admission_bench() -> KernelBench {
 /// deterministic across rounds, so the gate scores replayed invocations
 /// per host second.
 fn trace_replay_bench(gateway: bool) -> KernelBench {
-    let mut cfg = ReplayConfig::small();
-    cfg.trace.apps = 256;
-    cfg.trace.total_rate = 500.0;
-    cfg.trace.duration = SimDuration::from_mins(4);
-    cfg.trace.max_events = 100_000;
+    let cfg = replay_100k_config(gateway);
     let name = if gateway {
         "trace/replay_100k_invocations_gateway"
     } else {
-        cfg.gateway = None;
         "trace/replay_100k_invocations"
     };
-    kernel_bench(name, || {
+    kernel_bench_profiled(name, || {
         let out = replay(&cfg, BENCH_SEED, &|_| {});
-        if gateway {
-            // This trace deliberately saturates the in-flight cap, so
-            // the shedder fires: every failure must be a gateway shed
-            // (never an execution error) and admissions must conserve.
-            assert_eq!(
-                out.report.failed, out.report.gw_shed_requests,
-                "calm replay may only fail by shedding"
-            );
-            assert!(out.report.gw_offered >= out.report.invocations);
-            assert_eq!(
-                out.report.gw_offered,
-                out.report.gw_admitted
-                    + out.report.gw_rate_shed
-                    + out.report.gw_load_shed
-                    + out.report.gw_breaker_rejected,
-            );
-        } else {
-            assert_eq!(out.report.failed, 0, "calm replay must not fail");
-        }
-        out.report.invocations
+        assert_calm_replay(&out, gateway);
+        (out.report.invocations, out.report.engine.to_string())
+    })
+}
+
+/// The acceptance-scale replay kernel: one million invocations of the
+/// paper-scale trace through the gateway tier, end to end. This is the
+/// scale every future policy shoot-out wants to sweep at, so its
+/// events/sec is the headline number the baseline carries.
+fn trace_replay_1m_bench() -> KernelBench {
+    let cfg = replay_1m_config();
+    kernel_bench_profiled("trace/replay_1m_invocations", || {
+        let out = replay(&cfg, BENCH_SEED, &|_| {});
+        assert_calm_replay(&out, true);
+        assert!(
+            out.report.invocations >= 1_000_000,
+            "paper-scale trace must reach the million-arrival cap, got {}",
+            out.report.invocations
+        );
+        (out.report.invocations, out.report.engine.to_string())
     })
 }
 
@@ -720,6 +788,9 @@ impl Baseline {
                 k.events_per_sec()
             )
             .unwrap();
+            if let Some(profile) = &k.profile {
+                writeln!(out, "    engine: {profile}").unwrap();
+            }
         }
         writeln!(out).unwrap();
         writeln!(out, "{:<34} {:>10}", "experiment (quick)", "wall (s)").unwrap();
@@ -759,6 +830,7 @@ mod tests {
                 name: "kernel/x".into(),
                 wall_secs: 0.5,
                 events: 1000,
+                profile: None,
             }],
             experiments: vec![ExperimentBench {
                 name: "table1".into(),
@@ -797,6 +869,7 @@ mod tests {
             name: "kernel/x".into(),
             wall_secs: 0.0,
             events: 10,
+            profile: None,
         };
         assert_eq!(k.events_per_sec(), 0.0);
     }

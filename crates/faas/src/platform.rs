@@ -3,7 +3,7 @@
 
 use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 use std::fmt;
 use std::future::Future;
 use std::rc::Rc;
@@ -11,9 +11,10 @@ use std::rc::Rc;
 use bytes::Bytes;
 use faasim_net::{Fabric, Host, HostId, NicStats};
 use faasim_payload::Payload;
-use faasim_pricing::{Ledger, PriceBook, Service};
+use faasim_pricing::{ItemId, Ledger, PriceBook, Service};
 use faasim_simcore::{
-    LocalBoxFuture, Recorder, SemPermit, Semaphore, Sim, SimDuration, SimRng, SimTime,
+    FxHashMap, LazyCounter, LazyHist, LocalBoxFuture, Recorder, SemPermit, Semaphore, Sim,
+    SimDuration, SimRng, SimTime,
 };
 
 use crate::config::FaasProfile;
@@ -218,6 +219,38 @@ struct Container {
 /// earliest-placed container, matching the original linear scan).
 type WarmKey = (bool, SimTime, Reverse<u64>);
 
+/// Per-function idle-container index: a `Vec` kept sorted ascending by
+/// [`WarmKey`], so the MRU pick ([`WarmSet::pop_max`]) is a pop from the
+/// tail. Containers are released at the current instant, which is `>=`
+/// every `idle_since` already indexed, so inserts land at (or within a
+/// few same-instant or stale-hint entries of) the tail — amortized O(1)
+/// where a `BTreeSet` walks ~12 node levels per take/release at replay
+/// concurrency. Selection is unchanged: keys are unique (they end in the
+/// container id) and `pop_max` yields the same maximum a `BTreeSet`
+/// would.
+#[derive(Default)]
+struct WarmSet(Vec<WarmKey>);
+
+impl WarmSet {
+    fn single(key: WarmKey) -> WarmSet {
+        WarmSet(vec![key])
+    }
+
+    fn insert(&mut self, key: WarmKey) {
+        match self.0.last() {
+            Some(last) if *last > key => {
+                let pos = self.0.partition_point(|k| *k < key);
+                self.0.insert(pos, key);
+            }
+            _ => self.0.push(key),
+        }
+    }
+
+    fn pop_max(&mut self) -> Option<WarmKey> {
+        self.0.pop()
+    }
+}
+
 /// Container-packing integrals, the raw material for a packing-density
 /// metric: `resident_gb_seconds` is how much memory-time the platform has
 /// kept containers alive for (warm *and* busy), `busy_gb_seconds` is the
@@ -262,7 +295,7 @@ pub struct FaasFaults {
 }
 
 struct PlatformState {
-    functions: HashMap<String, FunctionSpec>,
+    functions: FxHashMap<String, Rc<FunctionSpec>>,
     containers: Vec<Container>,
     hosts: Vec<FnHost>,
     /// Per-function index of idle containers, keyed so the set maximum is
@@ -270,7 +303,7 @@ struct PlatformState {
     /// are validated (and lazily corrected or discarded) when popped, so
     /// eviction, reaping, crashes, and provisioned-concurrency changes
     /// never have to maintain the index.
-    warm_idle: HashMap<String, BTreeSet<WarmKey>>,
+    warm_idle: FxHashMap<String, WarmSet>,
     /// GB·seconds of residency credited for already-destroyed containers.
     retired_gb_s: f64,
     /// GB·seconds spent executing handlers.
@@ -288,6 +321,23 @@ struct PlatformState {
     faults: FaasFaults,
 }
 
+/// Pre-resolved recorder/ledger handles for the per-invocation path: at
+/// trace scale every string hash or allocation per invoke is real
+/// wall-clock. Recorder handles resolve lazily (see [`LazyCounter`] —
+/// eager interning would leak zero-valued series into determinism
+/// digests); ledger ids are interned eagerly, which is safe because
+/// never-charged slots are invisible on the bill.
+struct HotIds {
+    invoke_cold: LazyCounter,
+    invoke_warm: LazyCounter,
+    throttled_waits: LazyCounter,
+    chaos_kills: LazyCounter,
+    invoke_total: LazyHist,
+    invoke_exec: LazyHist,
+    bill_requests: ItemId,
+    bill_gb_seconds: ItemId,
+}
+
 /// The FaaS platform handle. Cheap to clone.
 #[derive(Clone)]
 pub struct FaasPlatform {
@@ -298,6 +348,7 @@ pub struct FaasPlatform {
     ledger: Ledger,
     recorder: Recorder,
     concurrency: Semaphore,
+    hot: Rc<HotIds>,
     state: Rc<RefCell<PlatformState>>,
 }
 
@@ -311,6 +362,16 @@ impl FaasPlatform {
         ledger: Ledger,
         recorder: Recorder,
     ) -> FaasPlatform {
+        let hot = Rc::new(HotIds {
+            invoke_cold: LazyCounter::new("faas.invoke.cold"),
+            invoke_warm: LazyCounter::new("faas.invoke.warm"),
+            throttled_waits: LazyCounter::new("faas.throttled_waits"),
+            chaos_kills: LazyCounter::new("faas.chaos_kills"),
+            invoke_total: LazyHist::new("faas.invoke.total"),
+            invoke_exec: LazyHist::new("faas.invoke.exec"),
+            bill_requests: ledger.item_id(Service::Faas, "requests"),
+            bill_gb_seconds: ledger.item_id(Service::Faas, "gb-seconds"),
+        });
         FaasPlatform {
             sim: sim.clone(),
             fabric: fabric.clone(),
@@ -319,11 +380,12 @@ impl FaasPlatform {
             prices,
             ledger,
             recorder,
+            hot,
             state: Rc::new(RefCell::new(PlatformState {
-                functions: HashMap::new(),
+                functions: FxHashMap::default(),
                 containers: Vec::new(),
                 hosts: Vec::new(),
-                warm_idle: HashMap::new(),
+                warm_idle: FxHashMap::default(),
                 retired_gb_s: 0.0,
                 busy_gb_s: 0.0,
                 next_container: 0,
@@ -363,7 +425,7 @@ impl FaasPlatform {
         self.state
             .borrow_mut()
             .functions
-            .insert(spec.name.clone(), spec);
+            .insert(spec.name.clone(), Rc::new(spec));
     }
 
     /// Number of live (warm or busy) containers.
@@ -469,8 +531,7 @@ impl FaasPlatform {
         let st = &mut *st;
         let set = st.warm_idle.get_mut(func)?;
         loop {
-            let key @ (provisioned, idle_since, Reverse(id)) = *set.last()?;
-            set.remove(&key);
+            let (provisioned, idle_since, Reverse(id)) = set.pop_max()?;
             // The container table stays sorted by id: ids are allocated
             // monotonically and removals preserve order.
             let Ok(pos) = st.containers.binary_search_by_key(&id, |c| c.id) else {
@@ -763,7 +824,7 @@ impl FaasPlatform {
         let had_to_wait = self.concurrency.available() == 0;
         let _permit: SemPermit = self.concurrency.acquire(1).await;
         if had_to_wait {
-            self.recorder.incr("faas.throttled_waits");
+            self.hot.throttled_waits.incr(&self.recorder);
         }
 
         // Invocation-path overhead.
@@ -788,8 +849,11 @@ impl FaasPlatform {
             let c = &st.containers[idx];
             (c.id, c.host.clone(), c.cache.clone())
         };
-        self.recorder
-            .incr(if cold { "faas.invoke.cold" } else { "faas.invoke.warm" });
+        if cold {
+            self.hot.invoke_cold.incr(&self.recorder);
+        } else {
+            self.hot.invoke_warm.incr(&self.recorder);
+        }
 
         // Run the handler under the lifetime cap.
         let exec_start = self.sim.now();
@@ -830,7 +894,7 @@ impl FaasPlatform {
             }
             None if kill_after.is_some() => {
                 crashed = true;
-                self.recorder.incr("faas.chaos_kills");
+                self.hot.chaos_kills.incr(&self.recorder);
                 Err(FnError::Crashed {
                     after: effective_limit,
                 })
@@ -864,7 +928,16 @@ impl FaasPlatform {
                 c.busy = false;
                 c.idle_since = now;
                 let key = (c.provisioned, now, Reverse(c.id));
-                st.warm_idle.entry(func.to_owned()).or_default().insert(key);
+                // get_mut-first: the per-invoke release must not pay a
+                // `String` allocation just to probe an existing entry.
+                match st.warm_idle.get_mut(func) {
+                    Some(set) => {
+                        set.insert(key);
+                    }
+                    None => {
+                        st.warm_idle.insert(func.to_owned(), WarmSet::single(key));
+                    }
+                }
             }
         }
 
@@ -874,21 +947,16 @@ impl FaasPlatform {
         let billed = SimDuration::from_nanos(billed_ns.max(inc));
         let gb = spec.memory_mb as f64 / 1024.0;
         let gb_s = gb * billed.as_secs_f64();
-        self.ledger.charge(
-            Service::Faas,
-            "requests",
-            1.0,
-            self.prices.lambda_per_request,
-        );
-        self.ledger.charge(
-            Service::Faas,
-            "gb-seconds",
+        self.ledger
+            .charge_id(self.hot.bill_requests, 1.0, self.prices.lambda_per_request);
+        self.ledger.charge_id(
+            self.hot.bill_gb_seconds,
             gb_s,
             gb_s * self.prices.lambda_per_gb_second,
         );
         let total = self.sim.now() - t0;
-        self.recorder.record_duration("faas.invoke.total", total);
-        self.recorder.record_duration("faas.invoke.exec", exec);
+        self.hot.invoke_total.record_duration(&self.recorder, total);
+        self.hot.invoke_exec.record_duration(&self.recorder, exec);
         InvokeOutcome {
             result,
             exec,

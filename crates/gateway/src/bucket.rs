@@ -37,6 +37,11 @@ impl TokenBucket {
     }
 
     fn refill(&mut self, now: SimTime) {
+        if now == self.refilled_at {
+            // Same-instant consult (bursts arriving in one event batch):
+            // dt is exactly zero, skip the float math.
+            return;
+        }
         let dt = now.duration_since(self.refilled_at).as_secs_f64();
         self.tokens = (self.tokens + self.rate * dt).min(self.burst);
         self.refilled_at = now;

@@ -16,9 +16,9 @@ use std::rc::Rc;
 
 use faasim_faas::{FaasPlatform, InvokeOutcome};
 use faasim_payload::Payload;
-use faasim_pricing::{Ledger, PriceBook, Service};
+use faasim_pricing::{ItemId, Ledger, PriceBook, Service};
 use faasim_resilience::{BreakerConfig, BreakerError, BreakerState, CircuitBreaker};
-use faasim_simcore::{Recorder, SemPermit, Semaphore, Sim, SimDuration, SimTime};
+use faasim_simcore::{LazyCounter, Recorder, SemPermit, Semaphore, Sim, SimDuration, SimTime};
 
 use crate::bucket::TokenBucket;
 use crate::stats::{GatewayStats, TenantStats};
@@ -179,6 +179,21 @@ struct TenantRt {
     in_flight: Cell<u64>,
 }
 
+/// Pre-resolved handles for the admission hot path: every `try_admit`
+/// at trace scale otherwise pays string hashing per counter and a map
+/// walk plus `String` allocation per bill. Recorder counters resolve
+/// lazily (see [`LazyCounter`] — eager interning would leak zero lines
+/// into determinism digests); the ledger id is eager, safe because
+/// never-charged slots stay off the bill.
+struct GwHot {
+    offered: LazyCounter,
+    admitted: LazyCounter,
+    shed_rate: LazyCounter,
+    shed_load: LazyCounter,
+    shed_breaker: LazyCounter,
+    bill_requests: ItemId,
+}
+
 struct GatewayInner {
     sim: Sim,
     faas: FaasPlatform,
@@ -189,6 +204,7 @@ struct GatewayInner {
     shed_at: [usize; TIERS],
     overhead: SimDuration,
     price_per_request: f64,
+    hot: GwHot,
     in_flight: Cell<usize>,
     peak_in_flight: Cell<usize>,
 }
@@ -250,6 +266,14 @@ impl Gateway {
                 cfg,
             })
             .collect();
+        let hot = GwHot {
+            offered: LazyCounter::new("gw.offered"),
+            admitted: LazyCounter::new("gw.admitted"),
+            shed_rate: LazyCounter::new("gw.shed.rate"),
+            shed_load: LazyCounter::new("gw.shed.load"),
+            shed_breaker: LazyCounter::new("gw.shed.breaker"),
+            bill_requests: ledger.item_id(Service::Gateway, "requests"),
+        };
         Gateway {
             inner: Rc::new(GatewayInner {
                 sim: sim.clone(),
@@ -261,6 +285,7 @@ impl Gateway {
                 shed_at,
                 overhead: config.overhead,
                 price_per_request: prices.gateway_per_request,
+                hot,
                 in_flight: Cell::new(0),
                 peak_in_flight: Cell::new(0),
             }),
@@ -276,15 +301,15 @@ impl Gateway {
         let t = inner.tenant(tenant);
         let now = inner.sim.now();
         t.stats.borrow_mut().offered += 1;
-        inner.recorder.incr("gw.offered");
+        inner.hot.offered.incr(&inner.recorder);
         inner
             .ledger
-            .charge(Service::Gateway, "requests", 1.0, inner.price_per_request);
+            .charge_id(inner.hot.bill_requests, 1.0, inner.price_per_request);
 
         // 1. Token bucket: rate + burst.
         if let Err(retry_at) = t.bucket.borrow_mut().try_take(now) {
             t.stats.borrow_mut().bucket_shed += 1;
-            inner.recorder.incr("gw.shed.rate");
+            inner.hot.shed_rate.incr(&inner.recorder);
             return Err(GatewayError::RateLimited { tenant, retry_at });
         }
 
@@ -294,7 +319,7 @@ impl Gateway {
         if in_flight >= inner.shed_at[tier] || in_flight >= inner.max_in_flight {
             t.bucket.borrow_mut().put_back();
             t.stats.borrow_mut().load_shed += 1;
-            inner.recorder.incr("gw.shed.load");
+            inner.hot.shed_load.incr(&inner.recorder);
             return Err(GatewayError::Overloaded { tenant, in_flight });
         }
 
@@ -302,7 +327,7 @@ impl Gateway {
         let Some(permit) = t.sem.try_acquire(1) else {
             t.bucket.borrow_mut().put_back();
             t.stats.borrow_mut().concurrency_shed += 1;
-            inner.recorder.incr("gw.shed.rate");
+            inner.hot.shed_rate.incr(&inner.recorder);
             return Err(GatewayError::ConcurrencyLimited { tenant });
         };
 
@@ -316,17 +341,18 @@ impl Gateway {
             drop(permit);
             t.bucket.borrow_mut().put_back();
             t.stats.borrow_mut().breaker_rejected += 1;
-            inner.recorder.incr("gw.shed.breaker");
+            inner.hot.shed_breaker.incr(&inner.recorder);
             return Err(GatewayError::BreakerOpen { tenant, retry_at });
         }
 
-        t.stats.borrow_mut().admitted += 1;
-        inner.recorder.incr("gw.admitted");
-        t.in_flight.set(t.in_flight.get() + 1);
+        inner.hot.admitted.incr(&inner.recorder);
+        let in_flight = t.in_flight.get() + 1;
+        t.in_flight.set(in_flight);
         {
             let mut st = t.stats.borrow_mut();
-            st.in_flight = t.in_flight.get();
-            st.peak_in_flight = st.peak_in_flight.max(t.in_flight.get());
+            st.admitted += 1;
+            st.in_flight = in_flight;
+            st.peak_in_flight = st.peak_in_flight.max(in_flight);
         }
         inner.in_flight.set(inner.in_flight.get() + 1);
         inner

@@ -47,11 +47,38 @@ impl fmt::Display for Service {
 struct LineItem {
     quantity: f64,
     dollars: f64,
+    /// Whether any charge (even a zero one) has landed here: an id that
+    /// was interned but never charged must not surface in the breakdown
+    /// or the formatted bill, which determinism digests fold in.
+    charged: bool,
 }
+
+/// An interned `(service, item)` handle: charging through it is an
+/// array index — no string allocation or map lookup on the hot path.
+/// Obtain one with [`Ledger::item_id`]; ids are only meaningful on the
+/// ledger that issued them.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ItemId(usize);
 
 #[derive(Default)]
 struct LedgerInner {
-    items: BTreeMap<(Service, String), LineItem>,
+    /// Registry: `(service, item name)` → slot index. Nested so lookups
+    /// can borrow the item name as `&str`.
+    registry: BTreeMap<Service, BTreeMap<String, usize>>,
+    slots: Vec<LineItem>,
+}
+
+impl LedgerInner {
+    fn slot_of(&mut self, service: Service, item: &str) -> usize {
+        let by_name = self.registry.entry(service).or_default();
+        if let Some(&slot) = by_name.get(item) {
+            return slot;
+        }
+        let slot = self.slots.len();
+        self.slots.push(LineItem::default());
+        by_name.insert(item.to_owned(), slot);
+        slot
+    }
 }
 
 /// A shared, append-only bill. Cheap to clone; clones share state.
@@ -81,68 +108,92 @@ impl Ledger {
             "bad charge ${dollars} for {service}/{item}"
         );
         let mut inner = self.inner.borrow_mut();
-        let entry = inner
-            .items
-            .entry((service, item.to_owned()))
-            .or_default();
+        let slot = inner.slot_of(service, item);
+        let entry = &mut inner.slots[slot];
         entry.quantity += quantity;
         entry.dollars += dollars;
+        entry.charged = true;
+    }
+
+    /// Intern `(service, item)` for repeated charging via
+    /// [`Ledger::charge_id`] — the allocation-free fast path for
+    /// services that bill per request at trace scale.
+    pub fn item_id(&self, service: Service, item: &str) -> ItemId {
+        ItemId(self.inner.borrow_mut().slot_of(service, item))
+    }
+
+    /// Add `quantity` units costing `dollars` under an interned item.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite amounts, or an id from another
+    /// ledger.
+    pub fn charge_id(&self, id: ItemId, quantity: f64, dollars: f64) {
+        assert!(
+            quantity.is_finite() && quantity >= 0.0,
+            "bad quantity {quantity}"
+        );
+        assert!(dollars.is_finite() && dollars >= 0.0, "bad charge ${dollars}");
+        let mut inner = self.inner.borrow_mut();
+        let entry = &mut inner.slots[id.0];
+        entry.quantity += quantity;
+        entry.dollars += dollars;
+        entry.charged = true;
     }
 
     /// Grand total in dollars.
     pub fn total(&self) -> f64 {
-        self.inner
-            .borrow()
-            .items
-            .values()
-            .map(|li| li.dollars)
-            .sum()
+        self.inner.borrow().slots.iter().map(|li| li.dollars).sum()
     }
 
     /// Total for one service.
     pub fn total_for(&self, service: Service) -> f64 {
-        self.inner
-            .borrow()
-            .items
-            .iter()
-            .filter(|((s, _), _)| *s == service)
-            .map(|(_, li)| li.dollars)
-            .sum()
+        let inner = self.inner.borrow();
+        inner
+            .registry
+            .get(&service)
+            .map(|by_name| by_name.values().map(|&slot| inner.slots[slot].dollars).sum())
+            .unwrap_or(0.0)
+    }
+
+    fn item(&self, service: Service, item: &str) -> Option<LineItem> {
+        let inner = self.inner.borrow();
+        let slot = *inner.registry.get(&service)?.get(item)?;
+        Some(inner.slots[slot].clone())
     }
 
     /// Dollars charged under one `(service, item)` pair.
     pub fn item_dollars(&self, service: Service, item: &str) -> f64 {
-        self.inner
-            .borrow()
-            .items
-            .get(&(service, item.to_owned()))
-            .map(|li| li.dollars)
-            .unwrap_or(0.0)
+        self.item(service, item).map(|li| li.dollars).unwrap_or(0.0)
     }
 
     /// Quantity accumulated under one `(service, item)` pair.
     pub fn item_quantity(&self, service: Service, item: &str) -> f64 {
-        self.inner
-            .borrow()
-            .items
-            .get(&(service, item.to_owned()))
-            .map(|li| li.quantity)
-            .unwrap_or(0.0)
+        self.item(service, item).map(|li| li.quantity).unwrap_or(0.0)
     }
 
     /// All line items: `(service, item, quantity, dollars)`, sorted.
     pub fn breakdown(&self) -> Vec<(Service, String, f64, f64)> {
-        self.inner
-            .borrow()
-            .items
+        let inner = self.inner.borrow();
+        inner
+            .registry
             .iter()
-            .map(|((s, i), li)| (*s, i.clone(), li.quantity, li.dollars))
+            .flat_map(|(s, by_name)| {
+                by_name.iter().filter_map(|(i, &slot)| {
+                    let li = &inner.slots[slot];
+                    li.charged
+                        .then(|| (*s, i.clone(), li.quantity, li.dollars))
+                })
+            })
             .collect()
     }
 
-    /// Drop all recorded charges.
+    /// Drop all recorded charges. Interned [`ItemId`]s stay valid —
+    /// experiments reset the ledger after setup traffic while services
+    /// holding ids keep charging into the same slots.
     pub fn reset(&self) {
-        self.inner.borrow_mut().items.clear();
+        for li in self.inner.borrow_mut().slots.iter_mut() {
+            *li = LineItem::default();
+        }
     }
 
     /// A formatted bill, e.g. for the experiment reports.

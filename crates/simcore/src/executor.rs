@@ -1,9 +1,10 @@
 //! The deterministic single-threaded async executor over virtual time.
 //!
-//! [`Sim`] owns a timer heap and a FIFO ready queue. Execution order is a
-//! pure function of the program and the seed: ties between timers firing at
-//! the same virtual instant are broken by a monotonically increasing
-//! sequence number, and woken tasks run in wake order.
+//! [`Sim`] owns a hierarchical timer wheel (see [`crate::wheel`]) and a
+//! FIFO ready queue. Execution order is a pure function of the program and
+//! the seed: ties between timers firing at the same virtual instant are
+//! broken by a monotonically increasing sequence number, and woken tasks
+//! run in wake order.
 //!
 //! Tasks are ordinary `Future`s (not `Send`; the executor is deliberately
 //! single-threaded). Services built on the simulator hand out futures that
@@ -12,19 +13,16 @@
 //! runnable.
 
 use std::cell::{Cell, RefCell};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
-use std::sync::Arc;
-use std::task::{Context, Poll, Wake, Waker};
-
-use parking_lot::Mutex;
+use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
 
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::TimerWheel;
 
 /// Identifier of a spawned task: a slab slot index in the low 32 bits and
 /// the slot's generation in the high 32, so recycled slots never confuse
@@ -47,26 +45,59 @@ impl TaskId {
 }
 
 /// Queue of tasks that have been woken and await polling.
-///
-/// Shared with [`Waker`]s, which must be `Send + Sync`, hence the mutex —
-/// uncontended in practice since the simulator is single-threaded.
 struct ReadyQueue {
-    queue: Mutex<VecDeque<TaskId>>,
+    queue: RefCell<VecDeque<TaskId>>,
 }
 
+/// Per-task waker state, reached through a hand-rolled [`RawWaker`]
+/// vtable instead of `Waker::from(Arc<_>)`.
+///
+/// The executor is single-threaded and every future it runs is `!Send`
+/// by construction ([`Sim::spawn`] has no `Send` bound), so its wakers
+/// never leave the thread: they live only in the timer wheel, the sync
+/// primitives' wait queues, and `JoinState` — all owned by this `Sim`.
+/// That makes the atomic refcount and the ready-queue mutex that
+/// `Waker::from(Arc<_>)` forces pure overhead, paid on every poll (waker
+/// clone), every sleep registration (clone into the timer), and every
+/// wake (queue lock) — millions of times per replay. The raw vtable
+/// below does the same bookkeeping on an `Rc`.
 struct TaskWaker {
-    ready: Arc<ReadyQueue>,
+    ready: Rc<ReadyQueue>,
     id: TaskId,
 }
 
-impl Wake for TaskWaker {
-    fn wake(self: Arc<Self>) {
-        self.wake_by_ref();
-    }
+// SAFETY for all four vtable fns: `data` is an `Rc<TaskWaker>` leaked via
+// `Rc::into_raw` in `make_waker`, kept alive by the refcount the vtable
+// itself maintains, and never shared across threads (see `TaskWaker`).
+unsafe fn waker_clone(data: *const ()) -> RawWaker {
+    unsafe { Rc::increment_strong_count(data as *const TaskWaker) };
+    RawWaker::new(data, &WAKER_VTABLE)
+}
 
-    fn wake_by_ref(self: &Arc<Self>) {
-        self.ready.queue.lock().push_back(self.id);
+unsafe fn waker_wake(data: *const ()) {
+    unsafe {
+        waker_wake_by_ref(data);
+        waker_drop(data);
     }
+}
+
+unsafe fn waker_wake_by_ref(data: *const ()) {
+    let tw = unsafe { &*(data as *const TaskWaker) };
+    tw.ready.queue.borrow_mut().push_back(tw.id);
+}
+
+unsafe fn waker_drop(data: *const ()) {
+    unsafe { Rc::decrement_strong_count(data as *const TaskWaker) };
+}
+
+static WAKER_VTABLE: RawWakerVTable =
+    RawWakerVTable::new(waker_clone, waker_wake, waker_wake_by_ref, waker_drop);
+
+fn make_waker(ready: Rc<ReadyQueue>, id: TaskId) -> Waker {
+    let data = Rc::into_raw(Rc::new(TaskWaker { ready, id }));
+    // SAFETY: the vtable contract above; the initial strong count is the
+    // reference this Waker owns.
+    unsafe { Waker::from_raw(RawWaker::new(data as *const (), &WAKER_VTABLE)) }
 }
 
 /// Handle to a pending wake-timer's cancel flag in the timer-flag slab.
@@ -87,29 +118,6 @@ struct TimerFlag {
 enum TimerAction {
     Wake(Waker, TimerToken),
     Call(Box<dyn FnOnce()>),
-}
-
-struct TimerEntry {
-    at: SimTime,
-    seq: u64,
-    action: TimerAction,
-}
-
-impl PartialEq for TimerEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for TimerEntry {}
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
 }
 
 type BoxedTask = Pin<Box<dyn Future<Output = ()>>>;
@@ -133,16 +141,25 @@ enum Slot {
 struct Inner {
     now: Cell<SimTime>,
     seq: Cell<u64>,
-    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    timers: RefCell<TimerWheel<TimerAction>>,
     timer_flags: RefCell<Vec<TimerFlag>>,
     timer_free: RefCell<Vec<u32>>,
-    ready: Arc<ReadyQueue>,
+    ready: Rc<ReadyQueue>,
     tasks: RefCell<Vec<Slot>>,
     task_free: RefCell<Vec<u32>>,
     tasks_alive: Cell<usize>,
     seed: u64,
     events_processed: Cell<u64>,
     tasks_spawned: Cell<u64>,
+    // Recorder-free profiling counters (see `SimProfile`).
+    task_polls: Cell<u64>,
+    peak_tasks_alive: Cell<usize>,
+    timer_pushes: Cell<u64>,
+    timer_fires: Cell<u64>,
+    timer_cancels: Cell<u64>,
+    /// Scratch buffer for `fire_next_timers`; kept here so its
+    /// allocation is reused across every firing instant.
+    fire_batch: RefCell<Vec<TimerAction>>,
 }
 
 /// Handle to the simulation. Cheap to clone; all clones share one virtual
@@ -174,6 +191,51 @@ pub struct SimStats {
     pub tasks_alive: usize,
 }
 
+/// Recorder-free engine profile: where the kernel's time went, so perf
+/// work can attribute wins instead of guessing. Every counter is a plain
+/// `Cell` increment on the hot path and deterministic for a given
+/// program + seed. Snapshot with [`Sim::profile`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SimProfile {
+    /// Task polls (a strict subset of `events_processed`).
+    pub task_polls: u64,
+    /// Total tasks ever spawned.
+    pub tasks_spawned: u64,
+    /// Peak simultaneously-live tasks.
+    pub peak_live_tasks: usize,
+    /// Timers registered (sleeps + scheduled callbacks).
+    pub timer_pushes: u64,
+    /// Timers that actually fired (canceled entries excluded).
+    pub timer_fires: u64,
+    /// Wake-timers canceled before firing (e.g. dropped `Sleep`s).
+    pub timer_cancels: u64,
+    /// Entries re-bucketed by wheel cascades and overflow migrations —
+    /// the wheel's "depth" cost (0 means every timer was bucketed once).
+    pub timer_cascades: u64,
+    /// Timers routed to the far-future overflow heap.
+    pub timer_overflow: u64,
+    /// Peak simultaneously-pending timers.
+    pub peak_pending_timers: usize,
+}
+
+impl fmt::Display for SimProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "polls {} · spawns {} (peak {} live) · timers {} pushed / {} fired / {} canceled · wheel {} cascaded / {} overflow / peak {} pending",
+            self.task_polls,
+            self.tasks_spawned,
+            self.peak_live_tasks,
+            self.timer_pushes,
+            self.timer_fires,
+            self.timer_cancels,
+            self.timer_cascades,
+            self.timer_overflow,
+            self.peak_pending_timers,
+        )
+    }
+}
+
 impl Sim {
     /// Create a fresh simulation whose randomness derives from `seed`.
     pub fn new(seed: u64) -> Sim {
@@ -181,11 +243,11 @@ impl Sim {
             inner: Rc::new(Inner {
                 now: Cell::new(SimTime::ZERO),
                 seq: Cell::new(0),
-                timers: RefCell::new(BinaryHeap::new()),
+                timers: RefCell::new(TimerWheel::new()),
                 timer_flags: RefCell::new(Vec::new()),
                 timer_free: RefCell::new(Vec::new()),
-                ready: Arc::new(ReadyQueue {
-                    queue: Mutex::new(VecDeque::new()),
+                ready: Rc::new(ReadyQueue {
+                    queue: RefCell::new(VecDeque::new()),
                 }),
                 tasks: RefCell::new(Vec::new()),
                 task_free: RefCell::new(Vec::new()),
@@ -193,6 +255,12 @@ impl Sim {
                 seed,
                 events_processed: Cell::new(0),
                 tasks_spawned: Cell::new(0),
+                task_polls: Cell::new(0),
+                peak_tasks_alive: Cell::new(0),
+                timer_pushes: Cell::new(0),
+                timer_fires: Cell::new(0),
+                timer_cancels: Cell::new(0),
+                fire_batch: RefCell::new(Vec::new()),
             }),
         }
     }
@@ -225,6 +293,22 @@ impl Sim {
         }
     }
 
+    /// Snapshot of the engine profiling counters (see [`SimProfile`]).
+    pub fn profile(&self) -> SimProfile {
+        let timers = self.inner.timers.borrow();
+        SimProfile {
+            task_polls: self.inner.task_polls.get(),
+            tasks_spawned: self.inner.tasks_spawned.get(),
+            peak_live_tasks: self.inner.peak_tasks_alive.get(),
+            timer_pushes: self.inner.timer_pushes.get(),
+            timer_fires: self.inner.timer_fires.get(),
+            timer_cancels: self.inner.timer_cancels.get(),
+            timer_cascades: timers.cascades(),
+            timer_overflow: timers.overflow_pushes(),
+            peak_pending_timers: timers.peak_len(),
+        }
+    }
+
     fn next_seq(&self) -> u64 {
         let s = self.inner.seq.get();
         self.inner.seq.set(s + 1);
@@ -238,15 +322,12 @@ impl Sim {
         F: Future<Output = T> + 'static,
         T: 'static,
     {
-        self.inner.tasks_spawned.set(self.inner.tasks_spawned.get() + 1);
-        self.inner.tasks_alive.set(self.inner.tasks_alive.get() + 1);
-
         let state: Rc<RefCell<JoinState<T>>> = Rc::new(RefCell::new(JoinState {
             result: None,
             waker: None,
         }));
         let st = state.clone();
-        let wrapped: BoxedTask = Box::pin(async move {
+        let id = self.spawn_boxed(Box::pin(async move {
             let out = fut.await;
             let waker = {
                 let mut s = st.borrow_mut();
@@ -256,7 +337,28 @@ impl Sim {
             if let Some(w) = waker {
                 w.wake();
             }
-        });
+        }));
+        JoinHandle { state, id }
+    }
+
+    /// Spawn a task whose output nobody will join on. Skips the
+    /// `JoinHandle` completion-state allocation that [`Sim::spawn`] pays,
+    /// which matters on fan-out hot paths spawning one task per request.
+    pub fn spawn_detached<F>(&self, fut: F)
+    where
+        F: Future<Output = ()> + 'static,
+    {
+        self.spawn_boxed(Box::pin(fut));
+    }
+
+    /// Install a boxed task in the slab and enqueue its first poll.
+    fn spawn_boxed(&self, wrapped: BoxedTask) -> TaskId {
+        self.inner.tasks_spawned.set(self.inner.tasks_spawned.get() + 1);
+        let alive = self.inner.tasks_alive.get() + 1;
+        self.inner.tasks_alive.set(alive);
+        if alive > self.inner.peak_tasks_alive.get() {
+            self.inner.peak_tasks_alive.set(alive);
+        }
         let id = {
             let mut tasks = self.inner.tasks.borrow_mut();
             let (index, gen) = match self.inner.task_free.borrow_mut().pop() {
@@ -273,10 +375,7 @@ impl Sim {
                 }
             };
             let id = TaskId::pack(index, gen);
-            let waker = Waker::from(Arc::new(TaskWaker {
-                ready: self.inner.ready.clone(),
-                id,
-            }));
+            let waker = make_waker(self.inner.ready.clone(), id);
             tasks[index as usize] = Slot::Occupied(TaskSlot {
                 gen,
                 fut: Some(wrapped),
@@ -284,8 +383,8 @@ impl Sim {
             });
             id
         };
-        self.inner.ready.queue.lock().push_back(id);
-        JoinHandle { state, id }
+        self.inner.ready.queue.borrow_mut().push_back(id);
+        id
     }
 
     /// Register a waker to fire at virtual instant `at` (clamped to now).
@@ -313,11 +412,11 @@ impl Sim {
                 }
             }
         };
-        self.inner.timers.borrow_mut().push(Reverse(TimerEntry {
-            at,
-            seq,
-            action: TimerAction::Wake(waker, token),
-        }));
+        self.inner.timer_pushes.set(self.inner.timer_pushes.get() + 1);
+        self.inner
+            .timers
+            .borrow_mut()
+            .push(at.as_nanos(), seq, TimerAction::Wake(waker, token));
         token
     }
 
@@ -328,25 +427,7 @@ impl Sim {
         let flag = &mut flags[token.index as usize];
         if flag.gen == token.gen {
             flag.canceled = true;
-        }
-    }
-
-    fn timer_is_canceled(&self, action: &TimerAction) -> bool {
-        match action {
-            TimerAction::Wake(_, token) => {
-                self.inner.timer_flags.borrow()[token.index as usize].canceled
-            }
-            TimerAction::Call(_) => false,
-        }
-    }
-
-    /// Return a fired or discarded wake-timer's flag slot to the free list.
-    fn release_timer(&self, action: &TimerAction) {
-        if let TimerAction::Wake(_, token) = action {
-            let mut flags = self.inner.timer_flags.borrow_mut();
-            flags[token.index as usize].gen = flags[token.index as usize].gen.wrapping_add(1);
-            flags[token.index as usize].canceled = false;
-            self.inner.timer_free.borrow_mut().push(token.index);
+            self.inner.timer_cancels.set(self.inner.timer_cancels.get() + 1);
         }
     }
 
@@ -356,11 +437,11 @@ impl Sim {
     pub fn call_at(&self, at: SimTime, f: impl FnOnce() + 'static) {
         let at = at.max(self.now());
         let seq = self.next_seq();
-        self.inner.timers.borrow_mut().push(Reverse(TimerEntry {
-            at,
-            seq,
-            action: TimerAction::Call(Box::new(f)),
-        }));
+        self.inner.timer_pushes.set(self.inner.timer_pushes.get() + 1);
+        self.inner
+            .timers
+            .borrow_mut()
+            .push(at.as_nanos(), seq, TimerAction::Call(Box::new(f)));
     }
 
     /// Run `f` after a delay.
@@ -430,6 +511,7 @@ impl Sim {
         self.inner
             .events_processed
             .set(self.inner.events_processed.get() + 1);
+        self.inner.task_polls.set(self.inner.task_polls.get() + 1);
         let mut cx = Context::from_waker(&waker);
         match fut.as_mut().poll(&mut cx) {
             Poll::Ready(()) => {
@@ -453,7 +535,7 @@ impl Sim {
 
     fn drain_ready(&self) {
         loop {
-            let id = self.inner.ready.queue.lock().pop_front();
+            let id = self.inner.ready.queue.borrow_mut().pop_front();
             match id {
                 Some(id) => self.poll_task(id),
                 None => break,
@@ -463,53 +545,109 @@ impl Sim {
 
     /// Fire every timer scheduled for the earliest pending instant,
     /// advancing the clock to it. Returns false when no timers remain.
+    ///
+    /// Pops are batched under one wheel borrow and the wakes run after —
+    /// legal because a wake only appends to the ready queue and so can
+    /// never reorder the pop sequence. A `Call` action ends its batch:
+    /// callbacks may push new timers at the firing instant, which must
+    /// join this very batch, so the queue is re-examined after each one.
     fn fire_next_timers(&self, horizon: SimTime) -> bool {
-        // Discard canceled entries at the head so they cannot drag the
-        // clock forward.
-        let at = {
-            loop {
-                let canceled = {
-                    let timers = self.inner.timers.borrow();
-                    match timers.peek() {
-                        Some(Reverse(e)) if self.timer_is_canceled(&e.action) => true,
-                        Some(Reverse(e)) => break e.at,
-                        None => return false,
-                    }
-                };
-                debug_assert!(canceled);
-                if let Some(Reverse(e)) = self.inner.timers.borrow_mut().pop() {
-                    self.release_timer(&e.action);
+        let inner = &*self.inner;
+        // Reaper for wheel GC (see `TimerWheel::peek_min_gc`): report
+        // whether an entry is canceled, releasing its flag slot if so.
+        let mut reap = |action: &TimerAction| -> bool {
+            let TimerAction::Wake(_, token) = action else {
+                return false;
+            };
+            {
+                let mut flags = inner.timer_flags.borrow_mut();
+                let f = &mut flags[token.index as usize];
+                if !f.canceled {
+                    return false;
                 }
+                f.gen = f.gen.wrapping_add(1);
+                f.canceled = false;
+            }
+            inner.timer_free.borrow_mut().push(token.index);
+            true
+        };
+        // Find the earliest live instant, discarding canceled heads so
+        // they cannot drag the clock forward.
+        let at = {
+            let mut timers = inner.timers.borrow_mut();
+            loop {
+                let Some(e) = timers.peek_min_gc(&mut reap) else {
+                    return false;
+                };
+                let (at, dead) = (e.at, reap(&e.item));
+                if !dead {
+                    break at;
+                }
+                timers.pop_min();
             }
         };
+        let at = SimTime::from_nanos(at);
         if at > horizon {
             return false;
         }
         debug_assert!(at >= self.now(), "timer scheduled in the past");
-        self.inner.now.set(at);
+        inner.now.set(at);
+        let at = at.as_nanos();
+        let mut batch: Vec<TimerAction> = std::mem::take(&mut inner.fire_batch.borrow_mut());
+        debug_assert!(batch.is_empty());
         loop {
-            let entry = {
-                let mut timers = self.inner.timers.borrow_mut();
-                match timers.peek() {
-                    Some(Reverse(e)) if e.at == at => timers.pop().map(|Reverse(e)| e),
-                    _ => None,
-                }
-            };
-            let Some(entry) = entry else { break };
-            self.inner
-                .events_processed
-                .set(self.inner.events_processed.get() + 1);
-            let canceled = self.timer_is_canceled(&entry.action);
-            self.release_timer(&entry.action);
-            match entry.action {
-                TimerAction::Wake(w, _) => {
-                    if !canceled {
-                        w.wake();
+            let mut saw_call = false;
+            {
+                let mut timers = inner.timers.borrow_mut();
+                loop {
+                    match timers.peek_min_gc(&mut reap) {
+                        Some(e) if e.at == at => {}
+                        _ => break,
+                    }
+                    let entry = timers.pop_min().expect("peeked");
+                    inner
+                        .events_processed
+                        .set(inner.events_processed.get() + 1);
+                    match entry.item {
+                        TimerAction::Wake(w, token) => {
+                            // One flags borrow: release the slot and learn
+                            // whether the timer was canceled in flight.
+                            let fire = {
+                                let mut flags = inner.timer_flags.borrow_mut();
+                                let f = &mut flags[token.index as usize];
+                                let canceled = f.canceled;
+                                f.gen = f.gen.wrapping_add(1);
+                                f.canceled = false;
+                                !canceled
+                            };
+                            inner.timer_free.borrow_mut().push(token.index);
+                            if fire {
+                                batch.push(TimerAction::Wake(w, token));
+                            }
+                        }
+                        call @ TimerAction::Call(_) => {
+                            batch.push(call);
+                            saw_call = true;
+                            break;
+                        }
                     }
                 }
-                TimerAction::Call(f) => f(),
+            }
+            if batch.is_empty() {
+                break;
+            }
+            for action in batch.drain(..) {
+                inner.timer_fires.set(inner.timer_fires.get() + 1);
+                match action {
+                    TimerAction::Wake(w, _) => w.wake(),
+                    TimerAction::Call(f) => f(),
+                }
+            }
+            if !saw_call {
+                break;
             }
         }
+        *inner.fire_batch.borrow_mut() = batch;
         true
     }
 
@@ -523,7 +661,7 @@ impl Sim {
     /// remained, otherwise at the last event.
     pub fn run_until(&self, deadline: SimTime) {
         self.run_horizon(deadline);
-        if self.now() < deadline && self.inner.timers.borrow().peek().is_some() {
+        if self.now() < deadline && !self.inner.timers.borrow().is_empty() {
             self.inner.now.set(deadline);
         }
     }

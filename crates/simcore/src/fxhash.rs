@@ -1,0 +1,115 @@
+//! A fast, deterministic hasher for simulator-internal maps (the FxHash
+//! function used by rustc).
+//!
+//! `std`'s default `RandomState`/SipHash pays for HashDoS resistance the
+//! simulator does not need: every map here is keyed by trusted,
+//! program-generated short strings or integers, and hot paths (function
+//! registry and warm-container index lookups) hash the same few keys
+//! millions of times per replay. FxHash is a couple of multiplies per
+//! 8-byte chunk, and — unlike `RandomState` — is the same function every
+//! run, so map behaviour never depends on process-level seeding.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc-style Fx hash function: one rotate, one xor, one multiply
+/// per word of input. Not collision-resistant against adversarial keys;
+/// do not use it on untrusted input.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add(v as u64);
+        self.add((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_hashers() {
+        let h = |s: &str| {
+            let mut h = FxHasher::default();
+            h.write(s.as_bytes());
+            h.finish()
+        };
+        assert_eq!(h("fn-0"), h("fn-0"));
+        assert_ne!(h("fn-0"), h("fn-1"));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(format!("key-{i}"), i);
+        }
+        for i in 0..1000 {
+            assert_eq!(m.get(&format!("key-{i}")), Some(&i));
+        }
+    }
+}

@@ -37,17 +37,20 @@
 #![warn(rust_2018_idioms)]
 
 mod executor;
+mod fxhash;
 mod future_util;
 mod link;
 mod metrics;
 mod rng;
 mod sync;
 mod time;
+mod wheel;
 
-pub use executor::{JoinHandle, Sim, SimStats, Sleep, TaskId, YieldNow};
+pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
+pub use executor::{JoinHandle, Sim, SimProfile, SimStats, Sleep, TaskId, YieldNow};
 pub use future_util::{join2, join3, join_all, select2, Either, LocalBoxFuture};
 pub use link::{gbps, mbps, mbytes_per_sec, Bps, FairShareLink, Transfer};
-pub use metrics::{Histogram, Recorder};
+pub use metrics::{CounterId, HistId, Histogram, LazyCounter, LazyHist, Recorder};
 pub use rng::{LatencyModel, SimRng};
 pub use sync::{
     channel, oneshot, Acquire, Barrier, BarrierWait, Canceled, Notified, Notify, OneshotReceiver,

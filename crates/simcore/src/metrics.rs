@@ -12,7 +12,7 @@
 //! `BTreeMap` walk. Hot call sites can hoist even the hash lookup out of
 //! their loop with [`Recorder::hist_id`] / [`Recorder::counter_id`].
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
@@ -171,6 +171,86 @@ pub struct HistId(u32);
 /// Interned handle to a counter series (see [`Recorder::counter_id`]).
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct CounterId(u32);
+
+/// A counter handle that interns its name on first increment, then hits
+/// the `u32` fast path forever after.
+///
+/// Services embed these for their hot-path counters. The lazy resolve
+/// matters for determinism, not just startup cost: [`Recorder::digest`]
+/// prints *every* interned series, zero-valued ones included, so
+/// interning at construction would leak `counter x = 0` lines into the
+/// digests of runs that never touch the counter. First-use interning is
+/// byte-identical to recording by name.
+///
+/// Not valid across [`Recorder::reset`] (nothing in this workspace
+/// resets mid-run).
+pub struct LazyCounter {
+    name: &'static str,
+    id: Cell<Option<CounterId>>,
+}
+
+impl LazyCounter {
+    /// A handle for `name`, not yet interned.
+    pub const fn new(name: &'static str) -> LazyCounter {
+        LazyCounter {
+            name,
+            id: Cell::new(None),
+        }
+    }
+
+    /// Add `n`, interning the name on first use.
+    pub fn add(&self, recorder: &Recorder, n: u64) {
+        let id = match self.id.get() {
+            Some(id) => id,
+            None => {
+                let id = recorder.counter_id(self.name);
+                self.id.set(Some(id));
+                id
+            }
+        };
+        recorder.add_id(id, n);
+    }
+
+    /// Add 1, interning the name on first use.
+    pub fn incr(&self, recorder: &Recorder) {
+        self.add(recorder, 1);
+    }
+}
+
+/// A histogram handle that interns its name on first sample; the
+/// histogram twin of [`LazyCounter`], with the same digest rationale.
+pub struct LazyHist {
+    name: &'static str,
+    id: Cell<Option<HistId>>,
+}
+
+impl LazyHist {
+    /// A handle for `name`, not yet interned.
+    pub const fn new(name: &'static str) -> LazyHist {
+        LazyHist {
+            name,
+            id: Cell::new(None),
+        }
+    }
+
+    /// Record one sample, interning the name on first use.
+    pub fn record(&self, recorder: &Recorder, v: f64) {
+        let id = match self.id.get() {
+            Some(id) => id,
+            None => {
+                let id = recorder.hist_id(self.name);
+                self.id.set(Some(id));
+                id
+            }
+        };
+        recorder.record_id(id, v);
+    }
+
+    /// Record a duration in seconds, interning the name on first use.
+    pub fn record_duration(&self, recorder: &Recorder, d: SimDuration) {
+        self.record(recorder, d.as_secs_f64());
+    }
+}
 
 /// One side of the registry: an intern table from name to `u32` handle
 /// plus the values, indexed by handle.

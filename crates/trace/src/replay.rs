@@ -20,7 +20,7 @@ use faasim::{Cloud, CloudProfile};
 use faasim_gateway::{Gateway, GatewayConfig, GatewayError, RetryingGateway, TenantConfig};
 use faasim_payload::Payload;
 use faasim_resilience::{BreakerConfig, Deadline, RetryError, RetryPolicy, RetryingInvoker};
-use faasim_simcore::{Semaphore, SimDuration, SimTime};
+use faasim_simcore::{Semaphore, SimDuration, SimProfile, SimTime};
 
 use crate::sketch::QuantileSketch;
 use crate::workload::{
@@ -43,9 +43,13 @@ pub struct ReplayConfig {
     pub max_in_flight: usize,
     /// Quantile-sketch relative error bound.
     pub sketch_alpha: f64,
-    /// Also materialize every latency sample (test-only; defeats the
-    /// bounded-memory property for large traces).
-    pub collect_latencies: bool,
+    /// Materialize at most this many raw latency samples (in completion
+    /// order) into [`ReplayOutcome::latencies`]. Percentiles always come
+    /// from the bounded sketch; this cap only exists so differential
+    /// tests can compare sketch estimates against exact ranks. `0` (the
+    /// default) keeps replay memory bounded by `max_in_flight +
+    /// O(apps + functions)` regardless of trace length.
+    pub latency_sample_cap: usize,
     /// Route every invocation through the multi-tenant gateway tier,
     /// sized by this recipe; `None` invokes the platform directly.
     pub gateway: Option<GatewaySpec>,
@@ -137,7 +141,7 @@ impl ReplayConfig {
             reap_every: SimDuration::from_secs(30),
             max_in_flight: 4096,
             sketch_alpha: 0.01,
-            collect_latencies: false,
+            latency_sample_cap: 0,
             gateway: Some(GatewaySpec::default()),
         }
     }
@@ -153,7 +157,7 @@ impl ReplayConfig {
 
 /// What a replay measured. All fields are plain numbers, so reports can
 /// be compared bit-for-bit across runs — the determinism harness does.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, PartialEq)]
 pub struct ReplayReport {
     /// Seed the trace and cloud were built from.
     pub seed: u64,
@@ -243,6 +247,61 @@ pub struct ReplayReport {
     pub gw_shed_requests: u64,
     /// Gateway: peak concurrent admitted requests.
     pub gw_peak_in_flight: u64,
+    /// Engine-level profile of the run: task polls, timer-wheel traffic,
+    /// spawn counts. Deterministic for a given seed, but excluded from
+    /// `Debug` so chaos-sweep digests (which fold `{:?}` of the report)
+    /// stay comparable across engine-internal refactors.
+    pub engine: SimProfile,
+}
+
+impl fmt::Debug for ReplayReport {
+    // Hand-rolled to match the pre-`engine` derived output byte-for-byte:
+    // the chaos sweep folds `format!("{:?}")` of this report into its run
+    // digests, which the determinism harness compares across releases.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReplayReport")
+            .field("seed", &self.seed)
+            .field("generated", &self.generated)
+            .field("invocations", &self.invocations)
+            .field("succeeded", &self.succeeded)
+            .field("failed", &self.failed)
+            .field("attempts", &self.attempts)
+            .field("cold_starts", &self.cold_starts)
+            .field("cold_start_rate", &self.cold_start_rate)
+            .field("latency_p50", &self.latency_p50)
+            .field("latency_p95", &self.latency_p95)
+            .field("latency_p99", &self.latency_p99)
+            .field("latency_p999", &self.latency_p999)
+            .field("latency_mean", &self.latency_mean)
+            .field("fairness_spread", &self.fairness_spread)
+            .field("apps_seen", &self.apps_seen)
+            .field("distinct_functions", &self.distinct_functions)
+            .field("busy_gb_seconds", &self.busy_gb_seconds)
+            .field("resident_gb_seconds", &self.resident_gb_seconds)
+            .field("packing_density", &self.packing_density)
+            .field("nic_transfers", &self.nic_transfers)
+            .field("nic_peak_fan_in", &self.nic_peak_fan_in)
+            .field("nic_mean_fan_in", &self.nic_mean_fan_in)
+            .field("nic_min_share_mbps", &self.nic_min_share_mbps)
+            .field("dollars", &self.dollars)
+            .field("dollars_per_hour", &self.dollars_per_hour)
+            .field("sim_secs", &self.sim_secs)
+            .field("throttled_waits", &self.throttled_waits)
+            .field("chaos_kills", &self.chaos_kills)
+            .field("chaos_evicted", &self.chaos_evicted)
+            .field("tenants_seen", &self.tenants_seen)
+            .field("tenant_fairness_spread", &self.tenant_fairness_spread)
+            .field("tenant_p99_max", &self.tenant_p99_max)
+            .field("tenant_p99_median", &self.tenant_p99_median)
+            .field("gw_offered", &self.gw_offered)
+            .field("gw_admitted", &self.gw_admitted)
+            .field("gw_rate_shed", &self.gw_rate_shed)
+            .field("gw_load_shed", &self.gw_load_shed)
+            .field("gw_breaker_rejected", &self.gw_breaker_rejected)
+            .field("gw_shed_requests", &self.gw_shed_requests)
+            .field("gw_peak_in_flight", &self.gw_peak_in_flight)
+            .finish()
+    }
 }
 
 impl fmt::Display for ReplayReport {
@@ -317,6 +376,7 @@ impl fmt::Display for ReplayReport {
                 self.chaos_kills, self.chaos_evicted
             )?;
         }
+        writeln!(f, "  engine      {}", self.engine)?;
         write!(
             f,
             "  cost        ${:.4} total = ${:.4}/hr",
@@ -335,8 +395,8 @@ pub struct ReplayOutcome {
     pub digest: String,
     /// Ledger report of the underlying cloud.
     pub bill: String,
-    /// Every latency sample, in completion order (only when
-    /// [`ReplayConfig::collect_latencies`] is set).
+    /// The first [`ReplayConfig::latency_sample_cap`] latency samples,
+    /// in completion order (empty by default).
     pub latencies: Vec<f64>,
 }
 
@@ -366,12 +426,29 @@ struct Stats {
 
 /// How the replay reaches the platform: directly, through client
 /// retries, or through the gateway tier (with or without retries).
-#[derive(Clone)]
 enum Client {
     Direct(faasim_faas::FaasPlatform),
     Retry(RetryingInvoker),
     Gw(Gateway),
     GwRetry(RetryingGateway),
+}
+
+/// Everything a spawned request task needs, bundled so the hot loop
+/// clones one `Rc` per invocation instead of a handful of handles.
+struct ReqCtx {
+    sim: faasim_simcore::Sim,
+    client: Client,
+    stats: RefCell<Stats>,
+    /// Function names pre-rendered once (`app * funcs_per_app + func`),
+    /// so the per-event path never formats a `String`.
+    names: Vec<String>,
+    funcs_per_app: u32,
+    latency_cap: usize,
+    /// Set once the driver has spawned its last request; `done` flips
+    /// when every spawned request has completed, which stops the reaper.
+    total: Cell<Option<u64>>,
+    done: Cell<bool>,
+    generated: Cell<u64>,
 }
 
 /// Whether a final retry-wrapper error was a gateway admission shed (as
@@ -439,7 +516,7 @@ pub fn replay_with(
     }
 
     let funcs_per_app = cfg.trace.funcs_per_app.max(1);
-    let stats = Rc::new(RefCell::new(Stats {
+    let stats = Stats {
         sketch: QuantileSketch::new(cfg.sketch_alpha),
         per_app: (0..cfg.trace.apps)
             .map(|_| AppAgg {
@@ -461,7 +538,7 @@ pub fn replay_with(
         completed: 0,
         last_done: SimTime::ZERO,
         latencies: Vec::new(),
-    }));
+    };
     // Build the front door (when configured) and pick the client stack.
     let gateway = cfg.gateway.as_ref().map(|spec| {
         Gateway::new(
@@ -492,17 +569,26 @@ pub fn replay_with(
         (None, None) => Client::Direct(faas.clone()),
     };
     let inflight = Semaphore::new(cfg.max_in_flight.max(1));
-    // Set once the driver has spawned its last request; `done` flips when
-    // every spawned request has completed, which stops the reaper.
-    let total: Rc<Cell<Option<u64>>> = Rc::new(Cell::new(None));
-    let done = Rc::new(Cell::new(false));
+    let ctx = Rc::new(ReqCtx {
+        sim: sim.clone(),
+        client,
+        stats: RefCell::new(stats),
+        names: (0..cfg.trace.apps)
+            .flat_map(|app| (0..funcs_per_app).map(move |func| function_name(app, func)))
+            .collect(),
+        funcs_per_app,
+        latency_cap: cfg.latency_sample_cap,
+        total: Cell::new(None),
+        done: Cell::new(false),
+        generated: Cell::new(0),
+    });
 
     // Keep-alive reaper: runs mid-replay like the platform's idle janitor.
     {
-        let (sim2, faas2, done2) = (sim.clone(), faas.clone(), done.clone());
+        let (sim2, faas2, ctx2) = (sim.clone(), faas.clone(), ctx.clone());
         let every = cfg.reap_every;
-        sim.spawn(async move {
-            while !done2.get() {
+        sim.spawn_detached(async move {
+            while !ctx2.done.get() {
                 sim2.sleep(every).await;
                 faas2.reap_idle();
             }
@@ -510,69 +596,59 @@ pub fn replay_with(
     }
 
     // Driver: walk the lazy generator in arrival order.
-    let generated = Rc::new(Cell::new(0u64));
     {
         let gen = TraceGenerator::new(cfg.trace.clone(), seed);
-        let sim2 = sim.clone();
-        let (stats2, total2, done2, generated2) = (
-            stats.clone(),
-            total.clone(),
-            done.clone(),
-            generated.clone(),
-        );
+        let ctx2 = ctx.clone();
         let inflight2 = inflight.clone();
-        let client2 = client.clone();
-        let collect = cfg.collect_latencies;
         // One shared zero block keeps symbolic payloads allocation-free.
         let zero_block = Payload::zeros(256).bytes();
-        sim.spawn(async move {
+        sim.spawn_detached(async move {
             let mut spawned = 0u64;
             for ev in gen {
-                sim2.sleep_until(ev.at).await;
+                ctx2.sim.sleep_until(ev.at).await;
                 let permit = inflight2.acquire(1).await;
                 spawned += 1;
-                let sim3 = sim2.clone();
-                let client3 = client2.clone();
-                let (stats3, total3, done3) = (stats2.clone(), total2.clone(), done2.clone());
+                let ctx3 = ctx2.clone();
                 let payload = Payload::synthetic(
                     zero_block.clone(),
                     ev.payload_bytes.div_ceil(zero_block.len() as u64).max(1),
                 );
-                sim2.spawn(async move {
-                    let t0 = sim3.now();
-                    let name = function_name(ev.app, ev.func);
+                ctx2.sim.spawn_detached(async move {
+                    let t0 = ctx3.sim.now();
+                    let name = &ctx3.names[(ev.app * ctx3.funcs_per_app + ev.func) as usize];
                     // `ok` is the request's final outcome; `shed` marks a
                     // final outcome that was a gateway admission refusal
                     // (rather than an execution failure).
-                    let (ok, shed) = match &client3 {
+                    let (ok, shed) = match &ctx3.client {
                         Client::Retry(inv) => (
-                            inv.invoke(&name, &payload, Deadline::unbounded())
+                            inv.invoke(name, &payload, Deadline::unbounded())
                                 .await
                                 .is_ok(),
                             false,
                         ),
                         Client::Direct(faas) => {
-                            (faas.invoke(&name, payload).await.result.is_ok(), false)
+                            (faas.invoke(name, payload).await.result.is_ok(), false)
                         }
                         Client::GwRetry(gw) => {
                             match gw
-                                .invoke(ev.tenant, &name, &payload, Deadline::unbounded())
+                                .invoke(ev.tenant, name, &payload, Deadline::unbounded())
                                 .await
                             {
                                 Ok(_) => (true, false),
                                 Err(err) => (false, final_err_was_shed(&err)),
                             }
                         }
-                        Client::Gw(gw) => match gw.invoke(ev.tenant, &name, payload).await {
+                        Client::Gw(gw) => match gw.invoke(ev.tenant, name, payload).await {
                             Ok(out) => (out.result.is_ok(), false),
                             Err(err) => (false, err.is_shed()),
                         },
                     };
-                    let latency = sim3.now().duration_since(t0).as_secs_f64();
+                    let now = ctx3.sim.now();
+                    let latency = now.duration_since(t0).as_secs_f64();
                     {
-                        let mut st = stats3.borrow_mut();
+                        let mut st = ctx3.stats.borrow_mut();
                         st.sketch.insert(latency);
-                        if collect {
+                        if st.latencies.len() < ctx3.latency_cap {
                             st.latencies.push(latency);
                         }
                         let tagg = &mut st.per_tenant[ev.tenant as usize];
@@ -582,7 +658,7 @@ pub fn replay_with(
                         let agg = &mut st.per_app[ev.app as usize];
                         agg.completed += 1;
                         agg.lat_sum += latency;
-                        st.seen_funcs[(ev.app * funcs_per_app + ev.func) as usize] = true;
+                        st.seen_funcs[(ev.app * ctx3.funcs_per_app + ev.func) as usize] = true;
                         if ok {
                             st.succeeded += 1;
                         } else {
@@ -592,18 +668,18 @@ pub fn replay_with(
                             }
                         }
                         st.completed += 1;
-                        st.last_done = sim3.now();
-                        if total3.get() == Some(st.completed) {
-                            done3.set(true);
+                        st.last_done = now;
+                        if ctx3.total.get() == Some(st.completed) {
+                            ctx3.done.set(true);
                         }
                     }
                     drop(permit);
                 });
             }
-            generated2.set(spawned);
-            total2.set(Some(spawned));
-            if stats2.borrow().completed == spawned {
-                done2.set(true);
+            ctx2.generated.set(spawned);
+            ctx2.total.set(Some(spawned));
+            if ctx2.stats.borrow().completed == spawned {
+                ctx2.done.set(true);
             }
         });
     }
@@ -614,7 +690,7 @@ pub fn replay_with(
     let packing = faas.packing_stats();
     let nic = faas.nic_stats();
     let recorder = &cloud.recorder;
-    let st = stats.borrow();
+    let st = ctx.stats.borrow();
     let cold = recorder.counter("faas.invoke.cold");
     let warm = recorder.counter("faas.invoke.warm");
     let attempts = cold + warm;
@@ -660,7 +736,7 @@ pub fn replay_with(
 
     let report = ReplayReport {
         seed,
-        generated: generated.get(),
+        generated: ctx.generated.get(),
         invocations: st.completed,
         succeeded: st.succeeded,
         failed: st.failed,
@@ -715,6 +791,7 @@ pub fn replay_with(
         gw_breaker_rejected: gw_stats.as_ref().map_or(0, |s| s.totals.breaker_rejected),
         gw_shed_requests: st.gw_shed,
         gw_peak_in_flight: gw_stats.as_ref().map_or(0, |s| s.peak_in_flight),
+        engine: sim.profile(),
     };
     ReplayOutcome {
         report,

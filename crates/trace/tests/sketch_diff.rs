@@ -18,7 +18,7 @@ fn sketch_matches_exact_percentiles_on_a_50k_replay() {
     let mut cfg = ReplayConfig::small();
     cfg.trace.total_rate = 180.0; // ~54k arrivals over five minutes ...
     cfg.trace.max_events = 50_000; // ... capped at the 50k bound
-    cfg.collect_latencies = true;
+    cfg.latency_sample_cap = 50_000; // materialize every sample for the diff
     let out = replay(&cfg, 2019, &|_| {});
     assert_eq!(out.latencies.len() as u64, out.report.invocations);
     assert!(out.report.invocations > 40_000, "trace came out too small");
